@@ -1,0 +1,138 @@
+// Command rlibm-gen runs the polynomial generation pipeline (the paper's
+// Figure 1 / Algorithm 2) and emits either a human-readable report, a
+// Table-1-style summary, or the Go data file embedded in internal/libm.
+//
+// Usage:
+//
+//	rlibm-gen [-func all|exp|exp2|exp10|log|log2|log10|sinpi|cospi]
+//	          [-scheme all|horner|knuth|estrin|estrin-fma]
+//	          [-bits 32] [-expbits 8] [-stride 4096] [-seed 1]
+//	          [-emit libmdata.go] [-table1] [-v]
+//
+// Examples:
+//
+//	rlibm-gen -func log2 -scheme estrin-fma -bits 20 -stride 1
+//	rlibm-gen -func all -scheme all -bits 32 -stride 4096 -emit internal/libm/zz_generated_data.go
+//	rlibm-gen -table1 -bits 24 -stride 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"rlibm/internal/core"
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+func main() {
+	var (
+		fnFlag     = flag.String("func", "all", "function to generate (all = the six paper functions; or one of exp, exp2, exp10, log, log2, log10, sinpi, cospi)")
+		schemeFlag = flag.String("scheme", "all", "evaluation scheme (all or one of horner, knuth, estrin, estrin-fma)")
+		bits       = flag.Int("bits", 32, "input format width in bits")
+		expBits    = flag.Int("expbits", 8, "input format exponent width")
+		stride     = flag.Uint64("stride", 4093, "enumerate every stride-th input bit pattern (a prime avoids aliasing with mantissa bit boundaries)")
+		seed       = flag.Int64("seed", 1, "random seed for constraint sampling")
+		degree     = flag.Int("degree", 0, "starting polynomial degree (0 = per-function default)")
+		pieces     = flag.Int("pieces", 0, "piecewise pieces (0 = per-function default)")
+		emit       = flag.String("emit", "", "write the internal/libm Go data file to this path")
+		table1     = flag.Bool("table1", false, "print a Table-1-style summary")
+		verbose    = flag.Bool("v", false, "log pipeline progress")
+	)
+	flag.Parse()
+
+	input := fp.Format{Bits: *bits, ExpBits: *expBits}
+	if err := input.Validate(); err != nil {
+		fatal(err)
+	}
+
+	fns := oracle.Funcs
+	if *fnFlag != "all" {
+		fn, err := oracle.ParseFunc(*fnFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fns = []oracle.Func{fn}
+	}
+	schemes := poly.PaperSchemes
+	if *schemeFlag != "all" {
+		s, err := poly.ParseScheme(*schemeFlag)
+		if err != nil {
+			fatal(err)
+		}
+		schemes = []poly.Scheme{s}
+	}
+
+	var results []*core.Result
+	for _, fn := range fns {
+		cfg := core.Config{
+			Fn:     fn,
+			Input:  input,
+			Stride: *stride,
+			Seed:   *seed,
+			Degree: *degree,
+			Pieces: *pieces,
+		}
+		if *verbose {
+			cfg.Log = os.Stderr
+		}
+		start := time.Now()
+		rs, err := core.GenerateAll(cfg, schemes)
+		if err != nil {
+			fatal(fmt.Errorf("%v: %w", fn, err))
+		}
+		fmt.Fprintf(os.Stderr, "%v: all schemes done in %v\n", fn, time.Since(start).Round(time.Millisecond))
+		for _, res := range rs {
+			fmt.Fprintf(os.Stderr, "  generated %s (%d constraints, %d LP solves, %d iterations)\n",
+				res.Describe(), res.Stats.Constraints, res.Stats.LPSolves, res.Stats.Iterations)
+			results = append(results, res)
+			if *emit == "" && !*table1 {
+				printResult(res)
+			}
+		}
+	}
+
+	if *table1 {
+		core.PrintTable1(os.Stdout, results)
+	}
+	if *emit != "" {
+		f, err := os.Create(*emit)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.EmitLibmData(f, results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *emit)
+	}
+}
+
+func printResult(res *core.Result) {
+	fmt.Printf("%s\n", res.Describe())
+	for i, p := range res.Pieces {
+		fmt.Printf("  piece %d over [%g, %g]:\n", i, p.Lo, p.Hi)
+		for j, c := range p.Coeffs {
+			fmt.Printf("    c%d = %.17g\n", j, c)
+		}
+		if a := p.Eval.AdaptedCoeffs(); a != nil {
+			for j, c := range a {
+				fmt.Printf("    alpha%d = %.17g\n", j, c)
+			}
+		}
+	}
+	for b, y := range res.Specials {
+		fmt.Printf("  special: x=%g -> %.17g\n", math.Float64frombits(b), y)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlibm-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Polyeval: the paper's Sections 3-4 in action on its running example.
+//
+//   - Knuth's coefficient adaptation of u(x) = -6 + 6x + 42x^2 + 18x^3 + 2x^4
+//     (3 multiplications instead of Horner's 4),
+//   - Estrin's method and its shorter dependence chains,
+//   - operation counts and critical-path latencies per scheme and degree,
+//   - and the Section 6.3 pitfall: adapting a finished polynomial as a
+//     post-process perturbs results by rounding error, which is why the
+//     paper integrates fast evaluation into the generation loop.
+//
+// Run with: go run ./examples/polyeval
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"rlibm/internal/poly"
+)
+
+func main() {
+	// The paper's introduction example.
+	u := poly.Poly{-6, 6, 42, 18, 2}
+	fmt.Println("u(x) =", u)
+
+	var u4 [5]float64
+	copy(u4[:], u)
+	alphas, err := poly.Adapt4(u4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nKnuth adaptation (equation 3):\n")
+	fmt.Printf("  y = (x + %g)x + %g\n", alphas[0], alphas[1])
+	fmt.Printf("  u(x) = ((y + x + %g)y + %g) * %g\n", alphas[2], alphas[3], alphas[4])
+
+	fmt.Println("\nevaluation schemes agree (exactly, for this integer example):")
+	for _, x := range []float64{-2, -0.5, 0, 1, 2.25} {
+		h := poly.EvalHorner(u, x)
+		k := poly.EvalAdapted4(&alphas, x)
+		e := poly.EvalEstrin(u, x)
+		ef := poly.EvalEstrinFMA(u, x)
+		fmt.Printf("  x=%-6g horner=%-10g knuth=%-10g estrin=%-10g estrin+fma=%-10g\n", x, h, k, e, ef)
+	}
+
+	fmt.Println("\noperation counts and critical paths (4-cycle add/mul/fma):")
+	fmt.Printf("  %-12s %6s %6s %6s %14s\n", "scheme", "adds", "muls", "fmas", "critical path")
+	for _, deg := range []int{4, 5, 6} {
+		for _, s := range poly.Schemes {
+			c := poly.SchemeCost(s, deg, poly.DefaultLatency)
+			fmt.Printf("  %-12s %6d %6d %6d %11d cyc   (degree %d)\n",
+				s, c.Adds, c.Muls, c.FMAs, c.CriticalPath, deg)
+		}
+		fmt.Println()
+	}
+
+	// Section 6.3: post-process adaptation perturbs values. Use a realistic
+	// non-integer polynomial (a 2^r-like approximation).
+	p := poly.Poly{1, 0.6931471805599453, 0.2402265069591007, 0.0555041086648216, 0.009618129107628477, 0.0013333558146428443}
+	var u5 [6]float64
+	copy(u5[:], p)
+	a5, err := poly.Adapt5(u5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("post-process adaptation error on a 2^r-style degree-5 polynomial:")
+	fmt.Println("(the reason Algorithm 2 integrates adaptation into the generation loop)")
+	maxUlps := 0.0
+	for i := 0; i <= 16; i++ {
+		x := -1.0/128 + float64(i)/1024
+		h := poly.EvalHorner(p, x)
+		k := poly.EvalAdapted5(&a5, x)
+		exact, _ := p.EvalExact(new(big.Rat).SetFloat64(x)).Float64()
+		ulp := math.Nextafter(exact, math.Inf(1)) - exact
+		dk := math.Abs(k-exact) / ulp
+		dh := math.Abs(h-exact) / ulp
+		if dk > maxUlps {
+			maxUlps = dk
+		}
+		fmt.Printf("  r=%-12.6g horner err %5.2f ulps, adapted err %6.2f ulps\n", x, dh, dk)
+	}
+	fmt.Printf("worst adapted-evaluation error: %.2f double ulps\n", maxUlps)
+	fmt.Println("each extra ulp can push a value out of its rounding interval;")
+	fmt.Println("the generate-check-constrain loop absorbs exactly this error.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: call the correctly rounded elementary functions and compare
+// them with Go's math package.
+//
+// The library's headline property (from the CGO 2023 paper): one polynomial
+// approximation per function produces the correctly rounded result for every
+// floating-point format from 10 to 32 bits and all five IEEE rounding modes.
+// The float32 entry points below are the common case; see the allformats
+// example for the multi-format API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"rlibm/internal/libm"
+)
+
+func main() {
+	inputs := []float32{0.5, 1.0, 2.7182817, -3.5, 100, 1e-4}
+
+	fmt.Println("correctly rounded float32 results (Estrin+FMA variant):")
+	fmt.Printf("%-12s %-14s %-14s %-14s\n", "x", "rlibm exp(x)", "math.Exp", "equal-bits?")
+	for _, x := range inputs {
+		got := libm.Exp(x)
+		ref := float32(math.Exp(float64(x)))
+		fmt.Printf("%-12g %-14g %-14g %v\n", x, got, ref, got == ref)
+	}
+
+	fmt.Println("\nall six functions at x = 0.7:")
+	x := float32(0.7)
+	fmt.Printf("  exp(%g)   = %g\n", x, libm.Exp(x))
+	fmt.Printf("  exp2(%g)  = %g\n", x, libm.Exp2(x))
+	fmt.Printf("  exp10(%g) = %g\n", x, libm.Exp10(x))
+	fmt.Printf("  log(%g)   = %g\n", x, libm.Log(x))
+	fmt.Printf("  log2(%g)  = %g\n", x, libm.Log2(x))
+	fmt.Printf("  log10(%g) = %g\n", x, libm.Log10(x))
+
+	fmt.Println("\nthe four paper configurations agree bit-for-bit on the result")
+	fmt.Println("(they differ only in evaluation speed):")
+	for _, x := range inputs {
+		a, b := libm.Exp2Horner(x), libm.Exp2Knuth(x)
+		c, d := libm.Exp2Estrin(x), libm.Exp2EstrinFMA(x)
+		fmt.Printf("  exp2(%-8g): rlibm=%v knuth=%v estrin=%v estrin+fma=%v\n", x, a, b, c, d)
+		if a != b || a != c || a != d {
+			fmt.Println("  MISMATCH — this should never happen")
+		}
+	}
+
+	fmt.Println("\nspecial values follow IEEE semantics:")
+	fmt.Printf("  exp(+Inf) = %g, exp(-Inf) = %g, exp(NaN) = %g\n",
+		libm.Exp(float32(math.Inf(1))), libm.Exp(float32(math.Inf(-1))), libm.Exp(float32(math.NaN())))
+	fmt.Printf("  log(0) = %g, log(-1) = %g\n", libm.Log(0), libm.Log(-1))
+}

@@ -1,0 +1,3 @@
+module rlibm
+
+go 1.22

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/interval"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+	"rlibm/internal/rangered"
+)
+
+// test18 is the input format used for exhaustive end-to-end tests: small
+// enough to enumerate, with the full 8-bit exponent range of binary32.
+var test18 = fp.Format{Bits: 18, ExpBits: 8}
+
+// TestGenerateExp2Exhaustive: the flagship end-to-end property — a generated
+// 2^x is correctly rounded for every 18-bit input, rounded to 10/14/18-bit
+// outputs under all five modes.
+func TestGenerateExp2Exhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline test; skipped with -short")
+	}
+	for _, scheme := range []poly.Scheme{poly.Horner, poly.EstrinFMA} {
+		res, err := Generate(Config{Fn: oracle.Exp2, Scheme: scheme, Input: test18, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		t.Log(res.Describe())
+		rep := res.Verify(test18, 1, []int{10, 14, 18}, fp.StandardModes)
+		if rep.Wrong != 0 {
+			t.Fatalf("%v: %d/%d wrong: %s", scheme, rep.Wrong, rep.Checked, rep.FirstWrong)
+		}
+	}
+}
+
+// TestGenerateLogExhaustive: same property for a logarithm (log needs a
+// format with enough significand bits to produce nonzero reduced inputs).
+func TestGenerateLogExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline test; skipped with -short")
+	}
+	in := fp.Format{Bits: 20, ExpBits: 8}
+	res, err := Generate(Config{Fn: oracle.Log, Scheme: poly.EstrinFMA, Input: in, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Describe())
+	rep := res.Verify(in, 1, []int{10, 16, 20}, fp.StandardModes)
+	if rep.Wrong != 0 {
+		t.Fatalf("%d/%d wrong: %s", rep.Wrong, rep.Checked, rep.FirstWrong)
+	}
+}
+
+// TestGenerateAllFunctionsSampled: every function generates and verifies on
+// a sampled sweep with the Knuth and Estrin schemes.
+func TestGenerateAllFunctionsSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline test; skipped with -short")
+	}
+	for _, fn := range oracle.Funcs {
+		rs, err := GenerateAll(Config{Fn: fn, Seed: 3, Input: test18},
+			[]poly.Scheme{poly.Knuth, poly.Estrin})
+		if err != nil {
+			t.Fatalf("%v: %v", fn, err)
+		}
+		for _, res := range rs {
+			rep := res.Verify(test18, 5, []int{11, 18}, []fp.Mode{fp.RNE, fp.RTP})
+			if rep.Wrong != 0 {
+				t.Fatalf("%v/%v: %d/%d wrong: %s", fn, res.Scheme, rep.Wrong, rep.Checked, rep.FirstWrong)
+			}
+		}
+	}
+}
+
+// TestFindDomainPlateaus: at and beyond the domain cuts the oracle result is
+// the plateau constant; just inside it is not.
+func TestFindDomainPlateaus(t *testing.T) {
+	target := fp.Format{Bits: 20, ExpBits: 8}
+	for _, fn := range []oracle.Func{oracle.Exp, oracle.Exp2, oracle.Exp10} {
+		d := FindDomain(fn, target)
+		if !(d.Lo < 0 && d.Hi > 0 && d.TinyLo < 0 && d.TinyHi > 0) {
+			t.Fatalf("%v: implausible domain %+v", fn, d)
+		}
+		if got := oracle.Correct(fn, d.Hi, target, fp.RTO); got != d.HiVal {
+			t.Errorf("%v: at hi cut %g oracle gives %g, want plateau %g", fn, d.Hi, got, d.HiVal)
+		}
+		if got := oracle.Correct(fn, d.Hi*2, target, fp.RTO); got != d.HiVal {
+			t.Errorf("%v: beyond hi cut oracle gives %g, want plateau %g", fn, got, d.HiVal)
+		}
+		if got := oracle.Correct(fn, d.Lo, target, fp.RTO); got != d.LoVal {
+			t.Errorf("%v: at lo cut %g oracle gives %g, want plateau %g", fn, d.Lo, got, d.LoVal)
+		}
+		if got := oracle.Correct(fn, d.TinyHi, target, fp.RTO); got != d.TinyHiVal {
+			t.Errorf("%v: at tiny-hi cut oracle gives %g, want %g", fn, got, d.TinyHiVal)
+		}
+		if got := oracle.Correct(fn, d.TinyLo, target, fp.RTO); got != d.TinyLoVal {
+			t.Errorf("%v: at tiny-lo cut oracle gives %g, want %g", fn, got, d.TinyLoVal)
+		}
+		// Just beyond the plateaus the result must move.
+		if got := oracle.Correct(fn, d.TinyHi*4, target, fp.RTO); got == d.TinyHiVal {
+			t.Errorf("%v: tiny plateau leaks above its cut", fn)
+		}
+		if d.PolyPath(d.Hi) || d.PolyPath(d.Lo) || d.PolyPath(d.TinyHi) || d.PolyPath(0) {
+			t.Errorf("%v: PolyPath includes plateau points", fn)
+		}
+		if !d.PolyPath(0.5) || !d.PolyPath(-0.5) {
+			t.Errorf("%v: PolyPath excludes ordinary points", fn)
+		}
+	}
+	// Logarithms have the unbounded domain.
+	d := FindDomain(oracle.Log, target)
+	if !d.PolyPath(1e30) || !d.PolyPath(1e-30) || d.PolyPath(-1) {
+		t.Errorf("log domain wrong: %+v", d)
+	}
+}
+
+// TestResultSpecialValues: IEEE edge semantics of the generated
+// implementation.
+func TestResultSpecialValues(t *testing.T) {
+	res, err := Generate(Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Eval(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("exp2(NaN) = %g", got)
+	}
+	if got := res.Eval(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("exp2(+Inf) = %g", got)
+	}
+	if got := res.Eval(math.Inf(-1)); got != 0 {
+		t.Errorf("exp2(-Inf) = %g", got)
+	}
+	if got := res.Eval(0); got != 1 {
+		t.Errorf("exp2(0) = %g", got)
+	}
+	if got := res.Eval(10); got != 1024 {
+		t.Errorf("exp2(10) = %g", got)
+	}
+
+	resLog, err := Generate(Config{Fn: oracle.Log2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resLog.Eval(-1); !math.IsNaN(got) {
+		t.Errorf("log2(-1) = %g", got)
+	}
+	if got := resLog.Eval(0); !math.IsInf(got, -1) {
+		t.Errorf("log2(0) = %g", got)
+	}
+	if got := resLog.Eval(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("log2(+Inf) = %g", got)
+	}
+	if got := resLog.Eval(1); got != 0 {
+		t.Errorf("log2(1) = %g", got)
+	}
+	if got := resLog.Eval(8); got != 3 {
+		t.Errorf("log2(8) = %g", got)
+	}
+}
+
+// TestPostProcessAdaptationViolates demonstrates the Section 6.3 failure:
+// adapting the coefficients of a finished Horner-validated polynomial as a
+// post-process makes some evaluations leave their rounding intervals, while
+// the integrated loop (Knuth inside Algorithm 2) keeps all of them inside.
+func TestPostProcessAdaptationViolates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline test; skipped with -short")
+	}
+	in := fp.Format{Bits: 22, ExpBits: 8}
+	cfg := Config{Fn: oracle.Exp10, Scheme: poly.Horner, Input: in, Seed: 2, Stride: 4}
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the original (unshrunk) constraint set.
+	red := rangered.For(cfg.Fn)
+	if err := (&cfg).setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	specials := map[uint64]float64{}
+	work, _, err := collect(&cfg, red, res.Dom, specials)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	countViolations := func(eval func(float64) float64) int {
+		n := 0
+		for _, it := range work {
+			// Constraints whose source inputs were demoted to the special
+			// table are not the polynomial's responsibility.
+			demoted := true
+			for _, src := range it.Sources {
+				if _, ok := res.Specials[src]; !ok {
+					demoted = false
+					break
+				}
+			}
+			if demoted {
+				continue
+			}
+			if v := eval(it.R); !it.Iv.Contains(v) {
+				n++
+			}
+		}
+		return n
+	}
+
+	hornerViol := countViolations(func(r float64) float64 { return res.PolyEval(r) })
+	if hornerViol != 0 {
+		t.Fatalf("the integrated Horner result violates %d of its own constraints", hornerViol)
+	}
+
+	// Post-process adaptation of each piece.
+	postViol := 0
+	for _, p := range res.Pieces {
+		adapted, err := poly.NewEvaluator(poly.Knuth, p.Coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range work {
+			if it.R < p.Lo || it.R > p.Hi {
+				continue
+			}
+			if v := adapted.Eval(it.R); !it.Iv.Contains(v) {
+				postViol++
+			}
+		}
+	}
+	t.Logf("post-process adaptation violates %d constraints (integrated: 0)", postViol)
+
+	// The integrated Knuth run fixes them.
+	resK, err := Generate(Config{Fn: oracle.Exp10, Scheme: poly.Knuth, Input: in, Seed: 2, Stride: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := resK.Verify(in, 16, []int{12, 22}, []fp.Mode{fp.RNE, fp.RTN})
+	if rep.Wrong != 0 {
+		t.Fatalf("integrated Knuth wrong: %s", rep.FirstWrong)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	items := make([]*workItem, 10)
+	for i := range items {
+		items[i] = &workItem{R: float64(i)}
+	}
+	chunks := split(items, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("split into %d chunks, want 3", len(chunks))
+	}
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != 10 {
+		t.Errorf("split lost items: %d", total)
+	}
+	if got := split(items, 1); len(got) != 1 || len(got[0]) != 10 {
+		t.Errorf("split(1) = %d chunks", len(got))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{Fn: oracle.Exp2, Input: fp.Format{Bits: 99, ExpBits: 8}}); err == nil {
+		t.Error("expected invalid input format error")
+	}
+	cfg := Config{Fn: oracle.Exp2, Input: fp.Bfloat16}
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Target != (fp.Format{Bits: 18, ExpBits: 8}) {
+		t.Errorf("default target = %v", cfg.Target)
+	}
+	if cfg.Degree != defaultDegree[oracle.Exp2] || cfg.Pieces != defaultPieces[oracle.Exp2] {
+		t.Error("per-function defaults not applied")
+	}
+}
+
+// TestVerifyCatchesWrongness: corrupt a piece and Verify must report wrongs.
+func TestVerifyCatchesWrongness(t *testing.T) {
+	res, err := Generate(Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Pieces[0].Coeffs[0] *= 1.001
+	ev, err := poly.NewEvaluator(poly.Horner, res.Pieces[0].Coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Pieces[0].Eval = ev
+	rep := res.Verify(fp.Bfloat16, 3, []int{16}, []fp.Mode{fp.RNE})
+	if rep.Wrong == 0 {
+		t.Error("Verify missed an intentionally corrupted polynomial")
+	}
+	if rep.FirstWrong == "" {
+		t.Error("FirstWrong not recorded")
+	}
+}
+
+// TestReducedConstraintsAreSatisfiable: the reduced interval of each input
+// contains the value that the oracle's own compensated result would need —
+// a coherence check between collect() and the reduction layer.
+func TestReducedConstraintsAreSatisfiable(t *testing.T) {
+	cfg := Config{Fn: oracle.Log2, Scheme: poly.Horner, Input: fp.Format{Bits: 20, ExpBits: 8}, Seed: 1}
+	if err := (&cfg).setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	red := rangered.For(cfg.Fn)
+	dom := FindDomain(cfg.Fn, cfg.Target)
+	specials := map[uint64]float64{}
+	work, stats, err := collect(&cfg, red, dom, specials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Constraints == 0 || len(work) == 0 {
+		t.Fatal("no constraints collected")
+	}
+	for _, it := range work {
+		if it.Iv.Empty() {
+			t.Fatalf("empty merged interval at r=%g", it.R)
+		}
+		if len(it.Sources) == 0 {
+			t.Fatalf("constraint without sources at r=%g", it.R)
+		}
+	}
+	// The sorted order is strictly increasing in reduced input.
+	for i := 1; i < len(work); i++ {
+		if !(work[i-1].R < work[i].R) {
+			t.Fatal("constraints not sorted/deduped by reduced input")
+		}
+	}
+	_ = interval.Interval{}
+}
+
+// TestGenerateTrigExhaustive: the trigonometric extension (sinpi/cospi)
+// generates correctly rounded piecewise polynomials — the paper's announced
+// future work, built on the same Algorithm 2 loop.
+func TestGenerateTrigExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline test; skipped with -short")
+	}
+	in := fp.Format{Bits: 18, ExpBits: 8}
+	for _, fn := range []oracle.Func{oracle.Sinpi, oracle.Cospi} {
+		res, err := Generate(Config{Fn: fn, Scheme: poly.EstrinFMA, Input: in, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", fn, err)
+		}
+		t.Log(res.Describe())
+		rep := res.Verify(in, 1, []int{10, 14, 18}, fp.StandardModes)
+		if rep.Wrong != 0 {
+			t.Fatalf("%v: %d/%d wrong: %s", fn, rep.Wrong, rep.Checked, rep.FirstWrong)
+		}
+		// IEEE edge semantics.
+		if got := res.Eval(math.Inf(1)); !math.IsNaN(got) {
+			t.Errorf("%v(+Inf) = %g, want NaN", fn, got)
+		}
+		if fn == oracle.Sinpi {
+			if got := res.Eval(0); got != 0 {
+				t.Errorf("sinpi(0) = %g", got)
+			}
+			if got := res.Eval(3); got != 0 {
+				t.Errorf("sinpi(3) = %g", got)
+			}
+			if got := res.Eval(2.5); got != 1 {
+				t.Errorf("sinpi(2.5) = %g", got)
+			}
+		} else {
+			if got := res.Eval(0); got != 1 {
+				t.Errorf("cospi(0) = %g", got)
+			}
+			if got := res.Eval(3); got != -1 {
+				t.Errorf("cospi(3) = %g", got)
+			}
+			if got := res.Eval(0.5); got != 0 {
+				t.Errorf("cospi(0.5) = %g", got)
+			}
+		}
+	}
+}
+
+func TestSplitByValue(t *testing.T) {
+	// Log-distributed reduced inputs: count-based splitting would give the
+	// last piece most of the value range; value-based splitting must not.
+	var items []*workItem
+	for i := 0; i < 1000; i++ {
+		items = append(items, &workItem{R: math.Ldexp(0.4, -i/40)})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].R < items[j].R })
+	chunks := splitByValue(items, 8)
+	if len(chunks) < 2 {
+		t.Fatalf("splitByValue produced %d chunks", len(chunks))
+	}
+	total := 0
+	span := items[len(items)-1].R - items[0].R
+	for _, c := range chunks {
+		total += len(c)
+		width := c[len(c)-1].R - c[0].R
+		if width > span/8*1.5 {
+			t.Errorf("chunk spans %g of %g total — not value-balanced", width, span)
+		}
+	}
+	if total != len(items) {
+		t.Errorf("splitByValue lost items: %d of %d", total, len(items))
+	}
+	// Degenerate cases.
+	if got := splitByValue(items[:3], 8); len(got) != 1 {
+		t.Errorf("tiny input should collapse to one chunk, got %d", len(got))
+	}
+	same := []*workItem{{R: 1}, {R: 1}, {R: 1}, {R: 1}}
+	if got := splitByValue(same, 2); len(got) != 1 {
+		t.Errorf("zero-width input should collapse to one chunk, got %d", len(got))
+	}
+}
+
+func TestExactInputsEnumeration(t *testing.T) {
+	dom := FindDomain(oracle.Exp2, fp.Format{Bits: 18, ExpBits: 8})
+	xs := exactInputs(oracle.Exp2, fp.Bfloat16, dom)
+	if len(xs) == 0 {
+		t.Fatal("no exact inputs for exp2")
+	}
+	for _, x := range xs {
+		if x != math.Trunc(x) {
+			t.Errorf("non-integer exact input %g for exp2", x)
+		}
+		if _, ok := oracle.ExactValue(oracle.Exp2, x); !ok {
+			t.Errorf("exactInputs returned non-exact %g", x)
+		}
+	}
+	// log2: powers of two only.
+	xs = exactInputs(oracle.Log2, fp.Bfloat16, FindDomain(oracle.Log2, fp.Format{Bits: 18, ExpBits: 8}))
+	for _, x := range xs {
+		if m, _ := math.Frexp(x); m != 0.5 {
+			t.Errorf("non-power-of-two exact input %g for log2", x)
+		}
+	}
+	if len(xs) < 100 {
+		t.Errorf("suspiciously few log2 exact inputs: %d", len(xs))
+	}
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/interval"
+	"rlibm/internal/lp"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+	"rlibm/internal/rangered"
+)
+
+// workItem is one merged constraint: the polynomial output at the reduced
+// input R must land in Iv. Sources lists the original inputs (as float64
+// bit patterns) that reduce to R — needed to demote inputs to special cases
+// when their constraint becomes unsatisfiable.
+type workItem struct {
+	R       float64
+	Iv      interval.Interval
+	Sources []uint64
+}
+
+// Piece is one polynomial of a (possibly piecewise) approximation.
+type Piece struct {
+	// Lo, Hi bound the reduced-input sub-domain of this piece (inclusive).
+	Lo, Hi float64
+	// Coeffs are the double-rounded coefficients of the LP solution.
+	Coeffs poly.Poly
+	// Eval evaluates Coeffs under the configured scheme (for Knuth, with
+	// the adapted alpha coefficients).
+	Eval *poly.Evaluator
+}
+
+// Stats records how the generation run went.
+type Stats struct {
+	Inputs          int // enumerated polynomial-path inputs
+	Constraints     int // merged reduced constraints
+	LPSolves        int
+	Iterations      int
+	ConstrainEvents int // intervals shrunk by the check step
+}
+
+// Result is a generated correctly rounded implementation.
+type Result struct {
+	Fn     oracle.Func
+	Scheme poly.Scheme
+	Input  fp.Format
+	Target fp.Format
+
+	Dom      Domain
+	Pieces   []Piece
+	Specials map[uint64]float64 // input bits (float64) -> round-to-odd result
+	Stats    Stats
+
+	red rangered.Reduction
+}
+
+// Generate runs the full pipeline of Figure 1 and returns a correctly
+// rounded implementation, or an error when no polynomial of the permitted
+// degrees satisfies the constraints.
+func Generate(cfg Config) (*Result, error) {
+	rs, err := GenerateAll(cfg, []poly.Scheme{cfg.Scheme})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// GenerateAll runs the pipeline for several evaluation schemes of one
+// function, sharing the (expensive) oracle/interval collection: the
+// constraint set depends only on the function and the formats, while the
+// generate–check–constrain loop is scheme-specific.
+func GenerateAll(cfg Config, schemes []poly.Scheme) ([]*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	red := rangered.For(cfg.Fn)
+	dom := FindDomain(cfg.Fn, cfg.Target)
+
+	preSpecials := map[uint64]float64{}
+	work, stats, err := collect(&cfg, red, dom, preSpecials)
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("%v: %d constraints, %d pre-specials", cfg.Fn, len(work), len(preSpecials))
+
+	var out []*Result
+	for _, scheme := range schemes {
+		res := &Result{
+			Fn:       cfg.Fn,
+			Scheme:   scheme,
+			Input:    cfg.Input,
+			Target:   cfg.Target,
+			Dom:      dom,
+			Specials: make(map[uint64]float64, len(preSpecials)),
+			Stats:    stats,
+			red:      red,
+		}
+		for b, y := range preSpecials {
+			res.Specials[b] = y
+		}
+		scfg := cfg
+		scfg.Scheme = scheme
+		chunks := split(work, scfg.Pieces)
+		if cfg.Fn.IsTrig() {
+			chunks = splitByValue(work, scfg.Pieces)
+		}
+		rng := rand.New(rand.NewSource(scfg.Seed + int64(scfg.Fn)<<8 + int64(scheme)))
+		for _, chunk := range chunks {
+			piece, err := solvePiece(&scfg, chunk, rng, res)
+			if err != nil {
+				return nil, fmt.Errorf("%v/%v: %w", scfg.Fn, scheme, err)
+			}
+			res.Pieces = append(res.Pieces, *piece)
+		}
+		sort.Slice(res.Pieces, func(i, j int) bool { return res.Pieces[i].Lo < res.Pieces[j].Lo })
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// collect enumerates the inputs, asks the oracle for round-to-odd results,
+// computes rounding intervals, reduces them, and merges by reduced input.
+func collect(cfg *Config, red rangered.Reduction, dom Domain, specials map[uint64]float64) ([]*workItem, Stats, error) {
+	var stats Stats
+	merged := map[uint64]*workItem{}
+
+	addInput := func(x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			return
+		}
+		if cfg.Fn.IsLog() && x < 0 {
+			return
+		}
+		if !dom.PolyPath(x) {
+			return
+		}
+		xb := math.Float64bits(x)
+		y := oracle.Correct(cfg.Fn, x, cfg.Target, fp.RTO)
+		r, key := red.Reduce(x)
+		if pv, structural := red.ExactPoint(r); structural {
+			// Structurally exact reduced inputs are served by the table /
+			// sign logic alone; only an inconsistency would make one a
+			// real special case.
+			oc := red.Compensate(pv, key)
+			good := oc == y // covers exact results, including zeros
+			if !good {
+				if iv, err := interval.Rounding(y, cfg.Target, fp.RTO); err == nil {
+					good = iv.Contains(oc)
+				}
+			}
+			if !good {
+				specials[xb] = y
+			}
+			return
+		}
+		iv, err := interval.Rounding(y, cfg.Target, fp.RTO)
+		if err != nil {
+			specials[xb] = y
+			return
+		}
+		riv, ok := rangered.ReducedInterval(red, key, iv)
+		if !ok {
+			specials[xb] = y
+			return
+		}
+		stats.Inputs++
+		rb := math.Float64bits(r)
+		item, exists := merged[rb]
+		if !exists {
+			merged[rb] = &workItem{R: r, Iv: riv, Sources: []uint64{xb}}
+			return
+		}
+		// Intersect with the existing constraint.
+		lo := math.Max(item.Iv.Lo, riv.Lo)
+		hi := math.Min(item.Iv.Hi, riv.Hi)
+		if lo > hi {
+			// Irreconcilable at this reduced input: the newcomer becomes a
+			// special case (the paper's CombineRedIntervals would fail the
+			// whole run; demoting the conflicting input preserves progress).
+			specials[xb] = y
+			return
+		}
+		item.Iv = interval.Interval{Lo: lo, Hi: hi}
+		item.Sources = append(item.Sources, xb)
+	}
+
+	// Stride enumeration over the input format's bit patterns.
+	n := cfg.Input.Count()
+	for b := uint64(0); b < n; b += cfg.Stride {
+		addInput(cfg.Input.FromBits(b))
+	}
+	// Aligned pass: every input whose trailing 13 significand bits are zero
+	// — for binary32 that is a superset of all tensorfloat32 and bfloat16
+	// values — so stride-sampled generation still yields exhaustive
+	// correctness for the ML formats the paper's introduction motivates.
+	if cfg.Stride > 1 && cfg.Input.SigBits() > 13 {
+		const aligned = 1 << 13
+		for b := uint64(0); b < n; b += aligned {
+			addInput(cfg.Input.FromBits(b))
+		}
+	}
+	// Exact-result inputs are mandatory: their singleton intervals pin the
+	// polynomial (e.g. p(0) = 1 for the exponential family). They are
+	// enumerated directly — integers for the exponentials, powers of 2 and
+	// 10 for the logarithms — rather than scanning the whole input space.
+	for _, v := range exactInputs(cfg.Fn, cfg.Input, dom) {
+		addInput(v)
+	}
+	// Domain-cut neighbourhoods are mandatory too: inputs just past the
+	// plateau cuts have the tightest intervals of the whole domain (results
+	// a couple of target-format ulps from the plateau constant), and stride
+	// sampling would otherwise leave them to interpolation.
+	for _, cut := range []float64{dom.Lo, dom.Hi, dom.TinyLo, dom.TinyHi} {
+		if cut == 0 || math.IsInf(cut, 0) || math.IsNaN(cut) {
+			continue
+		}
+		up := cfg.Input.Round(cut, fp.RTP)
+		dn := cfg.Input.Round(cut, fp.RTN)
+		for i := 0; i < 128; i++ {
+			addInput(up)
+			addInput(dn)
+			up = cfg.Input.NextUp(up)
+			dn = cfg.Input.NextDown(dn)
+		}
+	}
+
+	work := make([]*workItem, 0, len(merged))
+	for _, it := range merged {
+		work = append(work, it)
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].R < work[j].R })
+	stats.Constraints = len(work)
+	return work, stats, nil
+}
+
+// exactInputs enumerates the format's inputs whose results are exactly
+// representable rationals: every such input carries a singleton rounding
+// interval that must never be missed by stride sampling.
+func exactInputs(fn oracle.Func, input fp.Format, dom Domain) []float64 {
+	var out []float64
+	add := func(v float64) {
+		if input.IsRepresentable(v) && dom.PolyPath(v) {
+			if _, exact := oracle.ExactValue(fn, v); exact {
+				out = append(out, v)
+			}
+		}
+	}
+	switch fn {
+	case oracle.Exp2, oracle.Exp10:
+		lo := int(math.Ceil(dom.Lo))
+		hi := int(math.Floor(dom.Hi))
+		for n := lo; n <= hi; n++ {
+			add(float64(n))
+		}
+	case oracle.Log2:
+		for k := input.MinExp() - input.Prec() + 1; k <= input.MaxExp(); k++ {
+			add(math.Ldexp(1, k))
+		}
+	case oracle.Log10:
+		p := 1.0
+		for n := 0; n <= 40; n++ {
+			add(p)
+			p *= 10
+			if p > input.MaxFinite() {
+				break
+			}
+		}
+	case oracle.Exp, oracle.Log:
+		// exp(0) and log(1) are handled by the zero/tiny plateaus and the
+		// special table respectively; nothing to pin.
+	case oracle.Sinpi, oracle.Cospi:
+		// All exact trig inputs (multiples of 1/2) reduce to the
+		// structural points m = 0 and m = 1/2; nothing to pin.
+	}
+	return out
+}
+
+// split partitions the sorted constraints into pieces of (roughly) equal
+// constraint count — RLibm's sub-domain splitting for piecewise polynomials.
+func split(work []*workItem, pieces int) [][]*workItem {
+	if pieces <= 1 || len(work) <= pieces {
+		return [][]*workItem{work}
+	}
+	var out [][]*workItem
+	per := (len(work) + pieces - 1) / pieces
+	for start := 0; start < len(work); start += per {
+		end := start + per
+		if end > len(work) {
+			end = len(work)
+		}
+		out = append(out, work[start:end])
+	}
+	return out
+}
+
+// splitByValue partitions the sorted constraints into sub-domains of equal
+// reduced-input width. The trigonometric quadrant needs this: reduced
+// inputs are log-distributed toward zero, so count-based splitting would
+// hand one piece most of [0, 1/2], where a low-degree polynomial cannot
+// reach interval accuracy.
+func splitByValue(work []*workItem, pieces int) [][]*workItem {
+	if pieces <= 1 || len(work) <= pieces {
+		return [][]*workItem{work}
+	}
+	lo, hi := work[0].R, work[len(work)-1].R
+	width := (hi - lo) / float64(pieces)
+	if width <= 0 {
+		return [][]*workItem{work}
+	}
+	var out [][]*workItem
+	start := 0
+	for p := 1; p <= pieces && start < len(work); p++ {
+		bound := lo + float64(p)*width
+		end := start
+		for end < len(work) && (p == pieces || work[end].R < bound) {
+			end++
+		}
+		if end > start {
+			out = append(out, work[start:end])
+		}
+		start = end
+	}
+	return out
+}
+
+// solvePiece runs Algorithm 2 on one sub-domain, escalating the degree when
+// the iteration budget runs out.
+func solvePiece(cfg *Config, work []*workItem, rng *rand.Rand, res *Result) (*Piece, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, it := range work {
+		lo = math.Min(lo, it.R)
+		hi = math.Max(hi, it.R)
+	}
+	for degree := cfg.Degree; degree <= cfg.DegreeMax; degree++ {
+		ev, err := adaptLoop(cfg, work, degree, rng, res)
+		if err == nil {
+			return &Piece{Lo: lo, Hi: hi, Coeffs: ev.Coeffs, Eval: ev}, nil
+		}
+		cfg.logf("  degree %d failed: %v", degree, err)
+	}
+	return nil, fmt.Errorf("no polynomial up to degree %d satisfies the %d constraints", cfg.DegreeMax, len(work))
+}
+
+// adaptLoop is Algorithm 2: LP-solve on a sample, adapt for the scheme,
+// validate everything with the real float64 evaluation, constrain violated
+// intervals, repeat.
+func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *Result) (*poly.Evaluator, error) {
+	// Work on copies of the intervals: interval shrinking is per (degree,
+	// scheme) attempt.
+	items := make([]workItem, len(work))
+	for i, it := range work {
+		items[i] = *it
+	}
+	live := make([]*workItem, len(items))
+	for i := range items {
+		live[i] = &items[i]
+	}
+
+	sampleSize := cfg.SampleSize
+	if sampleSize > len(live) {
+		sampleSize = len(live)
+	}
+	sample := map[int]bool{}
+	// Always sample the narrowest (often singleton) constraints: they pin
+	// the polynomial.
+	type widthIdx struct {
+		w float64
+		i int
+	}
+	widths := make([]widthIdx, len(live))
+	for i, it := range live {
+		widths[i] = widthIdx{w: it.Iv.Hi - it.Iv.Lo, i: i}
+	}
+	sort.Slice(widths, func(a, b int) bool { return widths[a].w < widths[b].w })
+	for i := 0; i < sampleSize/4 && i < len(widths); i++ {
+		sample[widths[i].i] = true
+	}
+	// Spread the bulk evenly over the reduced domain (live is sorted by R):
+	// coverage beats randomness for pinning a low-degree polynomial.
+	if n := sampleSize - len(sample); n > 0 {
+		step := len(live) / n
+		if step == 0 {
+			step = 1
+		}
+		for i := step / 2; i < len(live) && len(sample) < sampleSize; i += step {
+			sample[i] = true
+		}
+	}
+	for len(sample) < sampleSize {
+		sample[rng.Intn(len(live))] = true
+	}
+
+	specialsBudget := cfg.MaxSpecials - len(res.Specials)
+	demote := func(it *workItem) error {
+		for _, xb := range it.Sources {
+			x := math.Float64frombits(xb)
+			res.Specials[xb] = oracle.Correct(cfg.Fn, x, cfg.Target, fp.RTO)
+			specialsBudget--
+		}
+		it.Iv = interval.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)} // unconstrained
+		if specialsBudget < 0 {
+			return fmt.Errorf("special-case budget exhausted (%d)", cfg.MaxSpecials)
+		}
+		return nil
+	}
+
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		res.Stats.Iterations++
+		// Exact rational LP on the sample.
+		cons := make([]lp.Constraint, 0, len(sample))
+		for i := range sample {
+			it := live[i]
+			if math.IsInf(it.Iv.Lo, -1) {
+				continue // demoted
+			}
+			cons = append(cons, lp.Constraint{
+				X:  new(big.Rat).SetFloat64(it.R),
+				Lo: new(big.Rat).SetFloat64(it.Iv.Lo),
+				Hi: new(big.Rat).SetFloat64(it.Iv.Hi),
+			})
+		}
+		res.Stats.LPSolves++
+		coeffs, ok := lp.SolvePoly(cons, degree)
+		if !ok {
+			// The sampled system is rationally infeasible: demote the
+			// narrowest sampled constraint and retry.
+			var narrow *workItem
+			for i := range sample {
+				it := live[i]
+				if math.IsInf(it.Iv.Lo, -1) {
+					continue
+				}
+				if narrow == nil || it.Iv.Hi-it.Iv.Lo < narrow.Iv.Hi-narrow.Iv.Lo {
+					narrow = it
+				}
+			}
+			if narrow == nil {
+				return nil, fmt.Errorf("LP infeasible with empty sample")
+			}
+			if err := demote(narrow); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		// Round to double and bind the evaluation scheme (Knuth adaptation
+		// happens here — including its cubic solve and rounding error).
+		fcoeffs := poly.RatPoly(coeffs).Float64s()
+		ev, err := poly.NewEvaluator(cfg.Scheme, fcoeffs)
+		if err != nil {
+			return nil, err
+		}
+
+		// Check every constraint with the real instruction sequence.
+		violations := 0
+		type viol struct {
+			i   int
+			amt float64 // how far outside the interval, relative
+		}
+		var worst []viol
+		for i, it := range live {
+			if math.IsInf(it.Iv.Lo, -1) {
+				continue
+			}
+			v := ev.Eval(it.R)
+			if it.Iv.Contains(v) {
+				continue
+			}
+			violations++
+			res.Stats.ConstrainEvents++
+			amt := it.Iv.Lo - v
+			if v > it.Iv.Hi {
+				amt = v - it.Iv.Hi
+			}
+			amt /= math.Max(it.Iv.Hi-it.Iv.Lo, math.SmallestNonzeroFloat64)
+			it.Iv = interval.Constrain(it.Iv, v)
+			if it.Iv.Empty() {
+				if err := demote(it); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			worst = append(worst, viol{i: i, amt: amt})
+		}
+		if violations == 0 {
+			return ev, nil
+		}
+		// A bounded set of violators joins the LP sample: the single worst
+		// offenders plus an even spread across the violated region
+		// (unbounded growth would make the exact simplex intractable; the
+		// PLDI'22 driver bounds its working set the same way).
+		sort.Slice(worst, func(a, b int) bool { return worst[a].amt > worst[b].amt })
+		take := 2 * (degree + 1)
+		for i := 0; i < len(worst) && i < take; i++ {
+			sample[worst[i].i] = true
+		}
+		if len(worst) > take {
+			rest := worst[take:]
+			sort.Slice(rest, func(a, b int) bool { return rest[a].i < rest[b].i })
+			step := len(rest) / take
+			if step == 0 {
+				step = 1
+			}
+			for i := step / 2; i < len(rest); i += step {
+				sample[rest[i].i] = true
+			}
+		}
+		cfg.logf("  iter %d: %d violations (sample %d)", iter, violations, len(sample))
+	}
+	return nil, fmt.Errorf("exceeded %d iterations at degree %d", cfg.MaxIters, degree)
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+)
+
+// Eval computes the implementation's double result for input x, including
+// every special path: the returned double lies in the rounding interval of
+// the round-to-odd target result, so rounding it to any format with
+// Input.ExpBits+2 .. Input.Bits bits under any standard mode yields the
+// correctly rounded value.
+func (r *Result) Eval(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	if r.Fn.IsTrig() {
+		if math.IsInf(x, 0) {
+			return math.NaN()
+		}
+		if x == 0 {
+			if r.Fn == oracle.Cospi {
+				return 1
+			}
+			return x // sinpi preserves the sign of zero
+		}
+		// cospi's flat-top plateau around zero (see FindDomain).
+		if r.Dom.TinyLo <= x && x <= r.Dom.TinyHi {
+			return r.Dom.TinyHiVal
+		}
+	} else if r.Fn.IsLog() {
+		switch {
+		case x < 0 || math.IsInf(x, -1):
+			return math.NaN()
+		case x == 0:
+			return math.Inf(-1)
+		case math.IsInf(x, 1):
+			return math.Inf(1)
+		}
+	} else {
+		switch {
+		case math.IsInf(x, 1):
+			return math.Inf(1)
+		case math.IsInf(x, -1):
+			return 0
+		case x == 0:
+			return 1
+		case x <= r.Dom.Lo:
+			return r.Dom.LoVal
+		case x >= r.Dom.Hi:
+			return r.Dom.HiVal
+		case x < 0 && x >= r.Dom.TinyLo:
+			return r.Dom.TinyLoVal
+		case x > 0 && x <= r.Dom.TinyHi:
+			return r.Dom.TinyHiVal
+		}
+	}
+	if y, ok := r.Specials[math.Float64bits(x)]; ok {
+		return y
+	}
+	rv, key := r.red.Reduce(x)
+	if pv, structural := r.red.ExactPoint(rv); structural {
+		return r.red.Compensate(pv, key)
+	}
+	p := r.PolyEval(rv)
+	return r.red.Compensate(p, key)
+}
+
+// PolyEval evaluates the piecewise polynomial at the reduced input.
+func (r *Result) PolyEval(rv float64) float64 {
+	piece := &r.Pieces[0]
+	for i := 1; i < len(r.Pieces); i++ {
+		if rv >= r.Pieces[i].Lo {
+			piece = &r.Pieces[i]
+		}
+	}
+	return piece.Eval.Eval(rv)
+}
+
+// RoundTo rounds the implementation's result for x to the requested format
+// and mode — the user-facing double-rounding step of RLibm-ALL.
+func (r *Result) RoundTo(x float64, t fp.Format, m fp.Mode) float64 {
+	return t.Round(r.Eval(x), m)
+}
+
+// MaxDegree returns the highest polynomial degree across pieces.
+func (r *Result) MaxDegree() int {
+	d := 0
+	for _, p := range r.Pieces {
+		if pd := p.Coeffs.Trim().Degree(); pd > d {
+			d = pd
+		}
+	}
+	return d
+}
+
+// Describe summarizes the result in the shape of the paper's Table 1 row
+// fragment: piece count, per-piece degrees, special-input count.
+func (r *Result) Describe() string {
+	degs := ""
+	for i, p := range r.Pieces {
+		if i > 0 {
+			degs += ","
+		}
+		degs += fmt.Sprintf("%d", p.Coeffs.Trim().Degree())
+	}
+	return fmt.Sprintf("%v/%v: %d piece(s), degree(s) %s, %d special input(s)",
+		r.Fn, r.Scheme, len(r.Pieces), degs, len(r.Specials))
+}
+
+// VerifyReport is the outcome of a correctness sweep.
+type VerifyReport struct {
+	Checked int
+	Wrong   int
+	// FirstWrong records the first failing (input, format bits, mode).
+	FirstWrong string
+}
+
+// Verify checks the implementation against the oracle for every enumerated
+// input of the verification format `inputs` (stride-sampled), across the
+// given output widths and rounding modes. It is the equivalent of the
+// artifact's correctness_test. The sweep is sharded across CPUs; the oracle
+// value is computed once per input and reused for every (width, mode) pair.
+func (r *Result) Verify(inputs fp.Format, stride uint64, widths []int, modes []fp.Mode) VerifyReport {
+	nCPU := runtime.GOMAXPROCS(0)
+	reports := make([]VerifyReport, nCPU)
+	var wg sync.WaitGroup
+	n := inputs.Count()
+	for shard := 0; shard < nCPU; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			rep := &reports[shard]
+			for b := uint64(shard) * stride; b < n; b += stride * uint64(nCPU) {
+				x := inputs.FromBits(b)
+				if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+					continue
+				}
+				if r.Fn.IsLog() && x <= 0 {
+					continue
+				}
+				d := r.Eval(x)
+				val := oracle.Compute(r.Fn, x)
+				for _, bits := range widths {
+					t := fp.Format{Bits: bits, ExpBits: r.Input.ExpBits}
+					for _, m := range modes {
+						got := t.Round(d, m)
+						want := val.Round(t, m)
+						rep.Checked++
+						// Zero results compare sign-insensitively: the sign
+						// of an exactly-zero sin(pi*n) is a convention (IEEE
+						// alternates it with n; the exact-case oracle uses
+						// +0), not a rounding property.
+						if got == 0 && want == 0 {
+							continue
+						}
+						if math.Float64bits(got) != math.Float64bits(want) {
+							rep.Wrong++
+							if rep.FirstWrong == "" {
+								rep.FirstWrong = fmt.Sprintf("%v(%g) width %d mode %v: got %g want %g",
+									r.Fn, x, bits, m, got, want)
+							}
+						}
+					}
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	var total VerifyReport
+	for _, rep := range reports {
+		total.Checked += rep.Checked
+		total.Wrong += rep.Wrong
+		if total.FirstWrong == "" {
+			total.FirstWrong = rep.FirstWrong
+		}
+	}
+	return total
+}

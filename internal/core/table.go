@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+// PrintTable1 renders the results in the shape of the paper's Table 1:
+// per function and configuration, the number of polynomials, their maximum
+// degrees, and the number of special-case inputs.
+func PrintTable1(w io.Writer, results []*Result) {
+	type key struct {
+		fn oracle.Func
+		s  poly.Scheme
+	}
+	m := map[key]*Result{}
+	for _, r := range results {
+		m[key{r.Fn, r.Scheme}] = r
+	}
+	fmt.Fprintf(w, "%-8s | %-22s | %-22s | %-22s | %-22s\n", "f(x)",
+		"RLIBM (horner)", "RLIBM-Knuth", "RLIBM-Estrin", "RLIBM-Estrin+FMA")
+	fmt.Fprintf(w, "%-8s | %-22s | %-22s | %-22s | %-22s\n", "",
+		"#p deg      #spec", "#p deg      #spec", "#p deg      #spec", "#p deg      #spec")
+	fmt.Fprintln(w, strings.Repeat("-", 8+4*25))
+	for _, fn := range oracle.Funcs {
+		row := fmt.Sprintf("%-8s", fn)
+		for _, s := range poly.PaperSchemes {
+			r := m[key{fn, s}]
+			cell := "N/A"
+			if r != nil {
+				degs := make([]string, len(r.Pieces))
+				for i, p := range r.Pieces {
+					degs[i] = fmt.Sprintf("%d", p.Coeffs.Trim().Degree())
+				}
+				cell = fmt.Sprintf("%-2d %-8s %d", len(r.Pieces), strings.Join(degs, ","), len(r.Specials))
+			}
+			row += fmt.Sprintf(" | %-22s", cell)
+		}
+		fmt.Fprintln(w, row)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cubic finds real roots of cubic polynomials in double precision.
+//
+// Knuth's coefficient adaptation for polynomials of degree 5 and 6 (Sections
+// 3.2 and 3.3 of the CGO 2023 paper) requires one real root of a cubic
+// auxiliary equation; the paper uses "an external cubic solver in double
+// precision". This package plays that role: a Cardano/trigonometric solver
+// followed by Newton polishing.
+package cubic
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNotCubic is returned when the leading coefficient is zero or not finite.
+var ErrNotCubic = errors.New("cubic: leading coefficient is zero or non-finite")
+
+// RealRoots returns the real roots of a*x^3 + b*x^2 + c*x + d in ascending
+// order. A triple or double root is reported once per distinct value.
+func RealRoots(a, b, c, d float64) ([]float64, error) {
+	if a == 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+		return nil, ErrNotCubic
+	}
+	// Normalize: x^3 + B x^2 + C x + D.
+	B, C, D := b/a, c/a, d/a
+
+	// Depress: x = t - B/3 gives t^3 + p t + q.
+	p := C - B*B/3
+	q := 2*B*B*B/27 - B*C/3 + D
+	shift := -B / 3
+
+	var roots []float64
+	disc := q*q/4 + p*p*p/27
+	// The discriminant is a difference of computed quantities; classify
+	// "zero" with a relative tolerance so exact double roots perturbed by
+	// rounding land in the repeated-root branch.
+	dscale := math.Max(q*q/4, math.Abs(p*p*p/27))
+	if math.Abs(disc) <= 1e-13*dscale {
+		disc = 0
+	}
+	switch {
+	case disc > 0:
+		// One real root (Cardano). Use the numerically stable form that
+		// avoids cancellation between the two cube roots.
+		s := math.Sqrt(disc)
+		u := math.Cbrt(-q/2 + s)
+		var v float64
+		if u != 0 {
+			v = -p / (3 * u)
+		} else {
+			v = math.Cbrt(-q/2 - s)
+		}
+		roots = []float64{u + v + shift}
+	case disc == 0:
+		if q == 0 {
+			roots = []float64{shift} // triple root
+		} else {
+			t1 := 3 * q / p        // single root
+			t2 := -3 * q / (2 * p) // double root
+			roots = []float64{t1 + shift, t2 + shift}
+		}
+	default:
+		// Three distinct real roots (casus irreducibilis): trigonometric
+		// method.
+		m := 2 * math.Sqrt(-p/3)
+		theta := math.Acos(3*q/(p*m)) / 3
+		for k := 0; k < 3; k++ {
+			t := m * math.Cos(theta-2*math.Pi*float64(k)/3)
+			roots = append(roots, t+shift)
+		}
+	}
+
+	for i := range roots {
+		roots[i] = polish(B, C, D, roots[i])
+	}
+	sort.Float64s(roots)
+	// Deduplicate near-identical roots produced by the double-root branch.
+	out := roots[:0]
+	for i, r := range roots {
+		if i > 0 && r == out[len(out)-1] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// OneRealRoot returns a single real root of a*x^3 + b*x^2 + c*x + d. Every
+// real cubic has at least one; when there are three, the root of smallest
+// magnitude is returned (which keeps adapted coefficients small — the choice
+// the adaptation procedure prefers).
+func OneRealRoot(a, b, c, d float64) (float64, error) {
+	roots, err := RealRoots(a, b, c, d)
+	if err != nil {
+		return 0, err
+	}
+	best := roots[0]
+	for _, r := range roots[1:] {
+		if math.Abs(r) < math.Abs(best) {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// polish runs a few Newton iterations on the monic cubic x^3 + Bx^2 + Cx + D
+// to squeeze out the last ulps of error from the closed-form root.
+func polish(B, C, D, x float64) float64 {
+	for i := 0; i < 4; i++ {
+		f := ((x+B)*x+C)*x + D
+		df := (3*x+2*B)*x + C
+		if df == 0 || math.IsNaN(f) {
+			break
+		}
+		nx := x - f/df
+		if nx == x || math.IsNaN(nx) || math.IsInf(nx, 0) {
+			break
+		}
+		// Accept only improving steps.
+		nf := ((nx+B)*nx+C)*nx + D
+		if math.Abs(nf) >= math.Abs(f) {
+			break
+		}
+		x = nx
+	}
+	return x
+}
+
+// Eval evaluates a*x^3 + b*x^2 + c*x + d, for residual checks in callers and
+// tests.
+func Eval(a, b, c, d, x float64) float64 {
+	return ((a*x+b)*x+c)*x + d
+}

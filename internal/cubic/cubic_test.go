@@ -1,0 +1,125 @@
+package cubic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownRoots(t *testing.T) {
+	tests := []struct {
+		a, b, c, d float64
+		want       []float64
+	}{
+		{1, 0, 0, -8, []float64{2}},         // x^3 = 8
+		{1, -6, 11, -6, []float64{1, 2, 3}}, // (x-1)(x-2)(x-3)
+		{1, 0, -1, 0, []float64{-1, 0, 1}},  // x(x-1)(x+1)
+		{1, -3, 3, -1, []float64{1}},        // (x-1)^3
+		{1, -5, 8, -4, []float64{1, 2}},     // (x-1)(x-2)^2
+		{2, 0, 0, 0, []float64{0}},          // 2x^3
+		{-1, 0, 0, 27, []float64{3}},        // -x^3+27
+		{1, 0, 2, 0, []float64{0}},          // x(x^2+2): one real root
+	}
+	for _, tc := range tests {
+		got, err := RealRoots(tc.a, tc.b, tc.c, tc.d)
+		if err != nil {
+			t.Fatalf("RealRoots(%g,%g,%g,%g): %v", tc.a, tc.b, tc.c, tc.d, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("RealRoots(%g,%g,%g,%g) = %v, want %v", tc.a, tc.b, tc.c, tc.d, got, tc.want)
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-9*math.Max(1, math.Abs(tc.want[i])) {
+				t.Errorf("RealRoots(%g,%g,%g,%g)[%d] = %.17g, want %g", tc.a, tc.b, tc.c, tc.d, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestNotCubic(t *testing.T) {
+	if _, err := RealRoots(0, 1, 2, 3); err != ErrNotCubic {
+		t.Errorf("expected ErrNotCubic, got %v", err)
+	}
+	if _, err := OneRealRoot(math.NaN(), 1, 2, 3); err != ErrNotCubic {
+		t.Errorf("expected ErrNotCubic for NaN leading coefficient, got %v", err)
+	}
+}
+
+// TestResidualSmall: on random cubics, every reported root has a tiny
+// backward error relative to the coefficient magnitudes.
+func TestResidualSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		a := (rng.Float64()*2 - 1) * math.Ldexp(1, rng.Intn(10)-5)
+		if a == 0 {
+			continue
+		}
+		b := (rng.Float64()*2 - 1) * math.Ldexp(1, rng.Intn(10)-5)
+		c := (rng.Float64()*2 - 1) * math.Ldexp(1, rng.Intn(10)-5)
+		d := (rng.Float64()*2 - 1) * math.Ldexp(1, rng.Intn(10)-5)
+		roots, err := RealRoots(a, b, c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(roots) == 0 {
+			t.Fatalf("cubic %g,%g,%g,%g reported no real roots", a, b, c, d)
+		}
+		for _, r := range roots {
+			res := math.Abs(Eval(a, b, c, d, r))
+			scale := math.Abs(a*r*r*r) + math.Abs(b*r*r) + math.Abs(c*r) + math.Abs(d)
+			if res > 1e-12*math.Max(scale, 1e-300) {
+				t.Fatalf("cubic %g,%g,%g,%g: root %g residual %g (scale %g)", a, b, c, d, r, res, scale)
+			}
+		}
+	}
+}
+
+// TestRootsFromFactors builds cubics from known random roots and checks they
+// are all recovered.
+func TestRootsFromFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 5000; i++ {
+		r1 := rng.Float64()*20 - 10
+		r2 := rng.Float64()*20 - 10
+		r3 := rng.Float64()*20 - 10
+		// (x-r1)(x-r2)(x-r3)
+		b := -(r1 + r2 + r3)
+		c := r1*r2 + r1*r3 + r2*r3
+		d := -r1 * r2 * r3
+		roots, err := RealRoots(1, b, c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []float64{r1, r2, r3} {
+			found := false
+			for _, got := range roots {
+				if math.Abs(got-want) < 1e-6*(1+math.Abs(want)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("roots of (x-%g)(x-%g)(x-%g): got %v, missing %g", r1, r2, r3, roots, want)
+			}
+		}
+	}
+}
+
+// TestOneRealRootProperty: the returned value really is a root, via
+// testing/quick.
+func TestOneRealRootProperty(t *testing.T) {
+	prop := func(b, c, d int16) bool {
+		fb, fc, fd := float64(b)/16, float64(c)/16, float64(d)/16
+		r, err := OneRealRoot(1, fb, fc, fd)
+		if err != nil {
+			return false
+		}
+		res := math.Abs(Eval(1, fb, fc, fd, r))
+		scale := math.Abs(r*r*r) + math.Abs(fb*r*r) + math.Abs(fc*r) + math.Abs(fd) + 1
+		return res <= 1e-10*scale
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

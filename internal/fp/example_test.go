@@ -1,0 +1,34 @@
+package fp_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"rlibm/internal/fp"
+)
+
+// Rounding a double to bfloat16 under different modes.
+func ExampleFormat_Round() {
+	x := 1.00048828125 // 1 + 2^-11, not representable in bfloat16 (8-bit precision)
+	fmt.Println("rne:", fp.Bfloat16.Round(x, fp.RNE))
+	fmt.Println("rtp:", fp.Bfloat16.Round(x, fp.RTP))
+	fmt.Println("rtz:", fp.Bfloat16.Round(x, fp.RTZ))
+	fmt.Println("rto:", fp.Bfloat16.Round(x, fp.RTO))
+	// Output:
+	// rne: 1
+	// rtp: 1.0078125
+	// rtz: 1
+	// rto: 1.0078125
+}
+
+// The RLibm-ALL theorem in one call chain: rounding through the 34-bit
+// round-to-odd format agrees with rounding the real value directly.
+func ExampleFormat_RoundRat() {
+	v := new(big.Rat).SetFrac64(1000000001, 3000000000) // ~1/3
+	ro := fp.FP34.RoundRat(v, fp.RTO)
+	direct := fp.Bfloat16.RoundRat(v, fp.RNE)
+	double := fp.Bfloat16.Round(ro, fp.RNE)
+	fmt.Println(direct == double, direct)
+	// Output:
+	// true 0.333984375
+}

@@ -1,0 +1,102 @@
+package fp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundMonotoneQuick: rounding is monotone non-decreasing in the value,
+// for every mode — a property the inverse-output-compensation search in the
+// pipeline depends on.
+func TestRoundMonotoneQuick(t *testing.T) {
+	f := Format{Bits: 13, ExpBits: 5}
+	prop := func(aBits, bBits uint32, mSel uint8) bool {
+		a := float64(math.Float32frombits(aBits))
+		b := float64(math.Float32frombits(bBits))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		m := AllModes[int(mSel)%len(AllModes)]
+		return f.Round(a, m) <= f.Round(b, m)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundIdempotentQuick: rounding twice equals rounding once.
+func TestRoundIdempotentQuick(t *testing.T) {
+	f := Bfloat16
+	prop := func(bits uint32, mSel uint8) bool {
+		x := float64(math.Float32frombits(bits))
+		if math.IsNaN(x) {
+			return true
+		}
+		m := AllModes[int(mSel)%len(AllModes)]
+		once := f.Round(x, m)
+		twice := f.Round(once, m)
+		return math.Float64bits(once) == math.Float64bits(twice)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundBracketsQuick: the rounded value is one of the two neighbouring
+// format values of x (or x itself).
+func TestRoundBracketsQuick(t *testing.T) {
+	f := Float16
+	prop := func(bits uint32, mSel uint8) bool {
+		x := float64(math.Float32frombits(bits))
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		if math.Abs(x) > f.MaxFinite() {
+			return true // overflow behaviour covered elsewhere
+		}
+		m := AllModes[int(mSel)%len(AllModes)]
+		r := f.Round(x, m)
+		dn, up := f.Round(x, RTN), f.Round(x, RTP)
+		return dn <= r && r <= up
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundBigFloatAgreesQuick: the fast big.Float rounding path agrees with
+// the exact big.Rat reference.
+func TestRoundBigFloatAgreesQuick(t *testing.T) {
+	f := Format{Bits: 16, ExpBits: 6}
+	prop := func(num int64, shift uint8, mSel uint8) bool {
+		if num == 0 {
+			return true
+		}
+		m := AllModes[int(mSel)%len(AllModes)]
+		// Value num * 2^(shift-32): exercises shifts across binades.
+		bf := newBigFromInt(num, int(shift)-32)
+		rat := ratFromBig(bf)
+		return sameFloat(f.RoundBigFloat(bf, m), f.RoundRat(rat, m))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// helpers for the quick tests
+
+func newBigFromInt(num int64, exp int) *big.Float {
+	f := new(big.Float).SetPrec(128).SetInt64(num)
+	f.SetMantExp(f, exp)
+	return f
+}
+
+func ratFromBig(f *big.Float) *big.Rat {
+	r, _ := f.Rat(nil)
+	return r
+}

@@ -1,0 +1,188 @@
+package fp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ratFromFloat(x float64) *big.Rat {
+	r := new(big.Rat)
+	r.SetFloat64(x)
+	return r
+}
+
+// TestRoundToOddExactPreserved: exactly representable values are unchanged
+// by round-to-odd (Figure 4, first half).
+func TestRoundToOddExactPreserved(t *testing.T) {
+	f := Float16
+	f.FiniteValues(func(b uint64, v float64) bool {
+		if got := f.Round(v, RTO); !sameFloat(got, v) {
+			t.Fatalf("RTO(%g) = %g, want identity", v, got)
+		}
+		return true
+	})
+}
+
+// TestRoundToOddPicksOddNeighbor: an inexact value rounds to whichever of
+// its two neighbours has an odd encoding (Figure 4, second half).
+func TestRoundToOddPicksOddNeighbor(t *testing.T) {
+	f := Bfloat16
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		x := randomFloat64(rng, f)
+		if math.IsNaN(x) || math.IsInf(x, 0) || f.IsRepresentable(x) {
+			continue
+		}
+		got := f.Round(x, RTO)
+		lo, hi := f.Round(x, RTN), f.Round(x, RTP)
+		if got != lo && got != hi {
+			t.Fatalf("RTO(%g)=%g is not a neighbour (%g,%g)", x, got, lo, hi)
+		}
+		bits, ok := f.ToBits(got)
+		if !ok {
+			t.Fatalf("RTO produced non-representable %g", got)
+		}
+		if math.IsInf(got, 0) {
+			t.Fatalf("RTO overflowed to %g for %g", got, x)
+		}
+		if bits&1 != 1 {
+			t.Fatalf("RTO(%g) = %g has even encoding %#x", x, got, bits)
+		}
+	}
+}
+
+// TestRoundToOddDoubleRoundingTheorem is the Figure 5 property: rounding a
+// real value to the (n+2)-bit format with round-to-odd and then rounding
+// that result to any k-bit format (E+2 <= k <= n) under any standard mode
+// equals rounding the real value directly.
+func TestRoundToOddDoubleRoundingTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, E = 32, 8
+	wide := Format{Bits: n + 2, ExpBits: E}
+	for i := 0; i < 30000; i++ {
+		v := randomRat(rng)
+		ro := wide.RoundRat(v, RTO)
+		k := E + 2 + rng.Intn(n-(E+2)+1)
+		target := Format{Bits: k, ExpBits: E}
+		m := StandardModes[rng.Intn(len(StandardModes))]
+		direct := target.RoundRat(v, m)
+		double := target.Round(ro, m)
+		if !sameFloat(direct, double) {
+			t.Fatalf("theorem violated: v=%s k=%d mode=%v direct=%g double=%g (ro=%g)",
+				v.RatString(), k, m, direct, double, ro)
+		}
+	}
+}
+
+// TestRoundToOddTheoremQuick re-states the theorem as a testing/quick
+// property over machine-generated rationals.
+func TestRoundToOddTheoremQuick(t *testing.T) {
+	wide := Format{Bits: 22, ExpBits: 6}
+	prop := func(num int64, den uint32, kSel uint8, mSel uint8) bool {
+		if den == 0 {
+			return true
+		}
+		v := new(big.Rat).SetFrac64(num, int64(den))
+		ro := wide.RoundRat(v, RTO)
+		k := 8 + int(kSel)%(20-8+1)
+		target := Format{Bits: k, ExpBits: 6}
+		m := StandardModes[int(mSel)%len(StandardModes)]
+		return sameFloat(target.RoundRat(v, m), target.Round(ro, m))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDoubleRoundingFailureRN reproduces Figure 3: double rounding through
+// the wider format with round-to-nearest (instead of round-to-odd) gives a
+// wrong result for values just past a rounding boundary.
+func TestDoubleRoundingFailureRN(t *testing.T) {
+	wide := FP34
+	target := Float32
+
+	// y is a float32 value with an even significand; mid is the midpoint
+	// between y and its float32 successor (exactly representable in FP34).
+	y := 1.0
+	succ := target.NextUp(y)
+	mid := (y + succ) / 2
+
+	// v lies just above mid: closer to mid than to mid's FP34 successor, so
+	// FP34-RNE collapses v onto the midpoint, and the subsequent
+	// float32-RNE tie resolves to even (y) — but direct rounding gives succ.
+	v := new(big.Rat).SetFloat64(mid)
+	eps := new(big.Rat).SetFrac64(1, 1<<40)
+	v.Add(v, eps)
+
+	direct := target.RoundRat(v, RNE)
+	viaRN := target.Round(wide.RoundRat(v, RNE), RNE)
+	viaRO := target.Round(wide.RoundRat(v, RTO), RNE)
+
+	if direct != succ {
+		t.Fatalf("test construction broken: direct = %g, want %g", direct, succ)
+	}
+	if viaRN == direct {
+		t.Fatalf("expected a double-rounding failure with RNE, got agreement at %g", viaRN)
+	}
+	if viaRO != direct {
+		t.Fatalf("round-to-odd path must agree with direct rounding: got %g, want %g", viaRO, direct)
+	}
+}
+
+// TestRoundStickyInformation checks that round-to-odd in the wider format
+// retains the round bit and sticky bit of the original value (the intuition
+// in Figure 5): the wide RO result is exact iff the original value was
+// exactly representable in the wide format.
+func TestRoundStickyInformation(t *testing.T) {
+	wide := Format{Bits: 14, ExpBits: 5}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 4000; i++ {
+		v := randomRat(rng)
+		ro := wide.RoundRat(v, RTO)
+		if math.IsInf(ro, 0) {
+			continue
+		}
+		exact := new(big.Rat).SetFloat64(ro).Cmp(v) == 0
+		bits, ok := wide.ToBits(ro)
+		if !ok {
+			t.Fatalf("RO result %g not representable", ro)
+		}
+		if !exact && bits&1 == 0 && ro != 0 {
+			t.Fatalf("inexact RO result has even encoding: v=%s ro=%g", v.RatString(), ro)
+		}
+	}
+}
+
+// randomRat draws rational values spanning several binades around 1, with a
+// bias toward values near format grid points where rounding is delicate.
+func randomRat(rng *rand.Rand) *big.Rat {
+	r := new(big.Rat)
+	switch rng.Intn(3) {
+	case 0:
+		// A float64 value: exercises exact-grid behaviour.
+		r.SetFloat64(math.Ldexp(1+rng.Float64(), rng.Intn(60)-30))
+	case 1:
+		// num/den with moderate bit lengths.
+		num := rng.Int63n(1<<40) + 1
+		den := rng.Int63n(1<<20) + 1
+		r.SetFrac64(num, den)
+	default:
+		// A format value plus a tiny rational offset: straddles boundaries.
+		f := Format{Bits: 20, ExpBits: 6}
+		v := f.FromBits(uint64(rng.Intn(int(f.Count() / 2)))) // non-negative patterns
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 1.5
+		}
+		r.SetFloat64(v)
+		off := new(big.Rat).SetFrac64(rng.Int63n(1<<20)-1<<19, 1)
+		off.Mul(off, new(big.Rat).SetFrac64(1, 1<<40))
+		r.Add(r, off)
+	}
+	if rng.Intn(2) == 0 {
+		r.Neg(r)
+	}
+	return r
+}

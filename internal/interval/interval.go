@@ -1,0 +1,165 @@
+// Package interval computes rounding intervals: for a correctly rounded
+// result y in a target format T under a rounding mode, the interval of
+// values in the working representation H (float64 here, as in the paper)
+// such that every value in it rounds to y (Figure 2 of the CGO 2023 paper).
+//
+// The RLibm pipeline uses the round-to-odd intervals of the 34-bit format;
+// the general-mode variants exist for the single-format experiments and for
+// cross-checking.
+package interval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rlibm/internal/fp"
+)
+
+// Interval is a closed interval [Lo, Hi] of float64 (representation H)
+// values.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Empty reports whether the interval contains no value.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.17g, %.17g]", iv.Lo, iv.Hi)
+}
+
+// ErrUnsupported is returned for results whose rounding interval is not
+// meaningful for polynomial generation (NaN, infinities, zero); the pipeline
+// treats such inputs as special cases, exactly as RLibm does.
+var ErrUnsupported = errors.New("interval: result requires special-case handling (zero, infinite or NaN)")
+
+// Rounding returns the interval of float64 values that round to y in format
+// t under mode m. y must be a finite nonzero value of t.
+func Rounding(y float64, t fp.Format, m fp.Mode) (Interval, error) {
+	if math.IsNaN(y) || math.IsInf(y, 0) || y == 0 {
+		return Interval{}, ErrUnsupported
+	}
+	if !t.IsRepresentable(y) {
+		return Interval{}, fmt.Errorf("interval: %g is not representable in %v", y, t)
+	}
+	if y < 0 {
+		// Mirror: the interval of -y under the sign-mirrored mode.
+		iv, err := Rounding(-y, t, mirror(m))
+		if err != nil {
+			return Interval{}, err
+		}
+		return Interval{Lo: -iv.Hi, Hi: -iv.Lo}, nil
+	}
+
+	prev := t.NextDown(y) // may be +0 when y is the smallest subnormal
+	next := t.NextUp(y)   // may be +Inf when y is the largest finite value
+	if prev < 0 {
+		prev = 0
+	}
+
+	odd := isOddEncoding(t, y)
+
+	switch m {
+	case fp.RNE:
+		lo, hi := midpoint(prev, y), upperMidpoint(t, y, next)
+		if odd {
+			// Ties resolve to the even neighbours, so both boundaries are
+			// excluded.
+			return Interval{Lo: nextUp64(lo), Hi: nextDown64(hi)}, nil
+		}
+		return Interval{Lo: lo, Hi: hi}, nil
+	case fp.RNA:
+		// For positive y the lower midpoint ties away from zero — to y —
+		// and the upper midpoint ties to next.
+		lo, hi := midpoint(prev, y), upperMidpoint(t, y, next)
+		return Interval{Lo: lo, Hi: nextDown64(hi)}, nil
+	case fp.RTZ, fp.RTN:
+		// Positive y: every value in [y, next) truncates to y. At the top
+		// of the range everything above y saturates to y as well.
+		if math.IsInf(next, 1) {
+			return Interval{Lo: y, Hi: math.MaxFloat64}, nil
+		}
+		return Interval{Lo: y, Hi: nextDown64(next)}, nil
+	case fp.RTP:
+		// Positive y: every value in (prev, y] rounds up to y.
+		return Interval{Lo: nextUp64(prev), Hi: y}, nil
+	case fp.RTO:
+		if !odd {
+			// Round-to-odd maps only the exact value to an even result.
+			return Interval{Lo: y, Hi: y}, nil
+		}
+		hi := nextDown64(next) // +Inf neighbour saturates to MaxFloat64
+		if math.IsInf(next, 1) {
+			hi = math.MaxFloat64
+		}
+		return Interval{Lo: nextUp64(prev), Hi: hi}, nil
+	default:
+		return Interval{}, fmt.Errorf("interval: unsupported mode %v", m)
+	}
+}
+
+// RoundingRO34 returns the round-to-odd rounding interval used by the
+// RLibm-ALL pipeline: the widest set of doubles that round to the 34-bit
+// round-to-odd oracle result y.
+func RoundingRO34(y float64) (Interval, error) {
+	return Rounding(y, fp.FP34, fp.RTO)
+}
+
+// Constrain shrinks the interval by one float64 ulp on the violated side, as
+// in the paper's ConstrainInterval: when the adapted polynomial produced a
+// value below Lo the new lower bound is the successor of Lo; above Hi, the
+// predecessor of Hi. The returned interval may be empty, which callers treat
+// as "this input becomes a special case".
+func Constrain(iv Interval, violation float64) Interval {
+	if violation < iv.Lo {
+		return Interval{Lo: nextUp64(iv.Lo), Hi: iv.Hi}
+	}
+	if violation > iv.Hi {
+		return Interval{Lo: iv.Lo, Hi: nextDown64(iv.Hi)}
+	}
+	return iv
+}
+
+// mirror swaps the directed modes for sign reflection.
+func mirror(m fp.Mode) fp.Mode {
+	switch m {
+	case fp.RTP:
+		return fp.RTN
+	case fp.RTN:
+		return fp.RTP
+	}
+	return m
+}
+
+// isOddEncoding reports whether the format encoding of v has an odd trailing
+// bit.
+func isOddEncoding(t fp.Format, v float64) bool {
+	b, ok := t.ToBits(v)
+	if !ok {
+		panic(fmt.Sprintf("interval: %g not representable in %v", v, t))
+	}
+	return b&1 == 1
+}
+
+// midpoint returns the exact midpoint of two adjacent non-negative format
+// values (exact in float64 because the format precision is below 53 bits).
+func midpoint(a, b float64) float64 {
+	return a + (b-a)/2
+}
+
+// upperMidpoint returns the boundary above y: the midpoint of [y, next], or
+// the overflow threshold y + ulp/2 when next is infinite.
+func upperMidpoint(t fp.Format, y, next float64) float64 {
+	if !math.IsInf(next, 1) {
+		return midpoint(y, next)
+	}
+	ulp := y - t.NextDown(y)
+	return y + ulp/2
+}
+
+func nextUp64(v float64) float64   { return math.Nextafter(v, math.Inf(1)) }
+func nextDown64(v float64) float64 { return math.Nextafter(v, math.Inf(-1)) }

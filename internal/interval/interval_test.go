@@ -1,0 +1,226 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rlibm/internal/fp"
+)
+
+// TestRoundingIntervalTight is the Figure 2 property: every float64 in the
+// interval rounds to y, and the float64 neighbours just outside do not.
+func TestRoundingIntervalTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	formats := []fp.Format{fp.Float16, fp.Bfloat16, {Bits: 12, ExpBits: 5}, fp.TensorFloat32, fp.FP34}
+	for _, f := range formats {
+		for _, m := range fp.AllModes {
+			for trial := 0; trial < 400; trial++ {
+				b := uint64(rng.Int63n(int64(f.Count())))
+				y := f.FromBits(b)
+				if math.IsNaN(y) || math.IsInf(y, 0) || y == 0 {
+					continue
+				}
+				iv, err := Rounding(y, f, m)
+				if err != nil {
+					t.Fatalf("%v %v Rounding(%g): %v", f, m, y, err)
+				}
+				if iv.Empty() {
+					t.Fatalf("%v %v Rounding(%g): empty interval", f, m, y)
+				}
+				// Both endpoints round to y.
+				for _, v := range []float64{iv.Lo, iv.Hi} {
+					if got := f.Round(v, m); got != y {
+						t.Fatalf("%v %v: endpoint %.17g of %v rounds to %g, want %g", f, m, v, iv, got, y)
+					}
+				}
+				// Interior samples round to y.
+				for k := 0; k < 8; k++ {
+					v := iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+					if v < iv.Lo || v > iv.Hi {
+						continue
+					}
+					if got := f.Round(v, m); got != y {
+						t.Fatalf("%v %v: interior %.17g of %v rounds to %g, want %g", f, m, v, iv, got, y)
+					}
+				}
+				// The neighbours immediately outside do not round to y
+				// (except when they fall off the float64 range).
+				below := math.Nextafter(iv.Lo, math.Inf(-1))
+				if got := f.Round(below, m); got == y {
+					t.Fatalf("%v %v: %.17g below %v still rounds to %g", f, m, below, iv, y)
+				}
+				if iv.Hi != math.MaxFloat64 {
+					above := math.Nextafter(iv.Hi, math.Inf(1))
+					if got := f.Round(above, m); got == y {
+						t.Fatalf("%v %v: %.17g above %v still rounds to %g", f, m, above, iv, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRoundToOddIntervalShapes: even results have singleton intervals; odd
+// results span the open interval between even neighbours.
+func TestRoundToOddIntervalShapes(t *testing.T) {
+	f := fp.FP34
+	// 1.0 has an even encoding in every format.
+	iv, err := Rounding(1.0, f, fp.RTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 1 || iv.Hi != 1 {
+		t.Errorf("RTO interval of exact 1.0 = %v, want singleton", iv)
+	}
+	// Its successor is odd.
+	y := f.NextUp(1.0)
+	iv, err = Rounding(y, f, fp.RTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(iv.Lo > 1 && iv.Hi < f.NextUp(y)) {
+		t.Errorf("RTO interval of odd %g = %v not inside (1, %g)", y, iv, f.NextUp(y))
+	}
+	if iv.Empty() {
+		t.Error("odd RTO interval empty")
+	}
+	// The interval must contain many doubles (freedom for the LP).
+	if math.Nextafter(iv.Lo, iv.Hi) == iv.Hi {
+		t.Error("odd RTO interval contains too few doubles")
+	}
+}
+
+func TestRoundingSpecialResults(t *testing.T) {
+	f := fp.Float16
+	for _, y := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, err := Rounding(y, f, fp.RNE); err == nil {
+			t.Errorf("Rounding(%g) should fail", y)
+		}
+	}
+	if _, err := Rounding(1+1e-9, f, fp.RNE); err == nil {
+		t.Error("Rounding of non-representable value should fail")
+	}
+}
+
+func TestNegativeMirror(t *testing.T) {
+	f := fp.Float16
+	for _, m := range fp.AllModes {
+		ivp, err := Rounding(1.5, f, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivn, err := Rounding(-1.5, f, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Directed modes mirror; nearest and odd are symmetric.
+		if got, want := ivn.Lo, -ivp.Hi; got != want {
+			if m != fp.RTP && m != fp.RTN {
+				t.Errorf("mode %v: -1.5 interval %v not mirror of %v", m, ivn, ivp)
+			}
+		}
+		if got := f.Round(ivn.Lo, m); got != -1.5 {
+			t.Errorf("mode %v: lower endpoint %g rounds to %g", m, ivn.Lo, got)
+		}
+		if got := f.Round(ivn.Hi, m); got != -1.5 {
+			t.Errorf("mode %v: upper endpoint %g rounds to %g", m, ivn.Hi, got)
+		}
+	}
+}
+
+func TestConstrain(t *testing.T) {
+	iv := Interval{Lo: 1.0, Hi: 2.0}
+	below := Constrain(iv, 0.5)
+	if below.Lo <= 1.0 || below.Hi != 2.0 {
+		t.Errorf("Constrain below = %v", below)
+	}
+	above := Constrain(iv, 3.0)
+	if above.Hi >= 2.0 || above.Lo != 1.0 {
+		t.Errorf("Constrain above = %v", above)
+	}
+	same := Constrain(iv, 1.5)
+	if same != iv {
+		t.Errorf("Constrain inside = %v", same)
+	}
+	// Repeated constraining eventually empties the interval — the signal to
+	// declare an input a special case.
+	tiny := Interval{Lo: 1.0, Hi: math.Nextafter(1.0, 2)}
+	tiny = Constrain(tiny, 0)
+	tiny = Constrain(tiny, 0)
+	if !tiny.Empty() {
+		t.Errorf("interval should be empty, got %v", tiny)
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := Interval{Lo: -1, Hi: 1}
+	for _, v := range []float64{-1, 0, 1} {
+		if !iv.Contains(v) {
+			t.Errorf("Contains(%g) = false", v)
+		}
+	}
+	for _, v := range []float64{-1.0000001, 1.0000001, math.NaN()} {
+		if iv.Contains(v) {
+			t.Errorf("Contains(%g) = true", v)
+		}
+	}
+	if iv.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// TestExhaustiveSmallFormat: for a tiny format, check the interval against a
+// brute-force scan over a fine float64 grid.
+func TestExhaustiveSmallFormat(t *testing.T) {
+	f := fp.Format{Bits: 9, ExpBits: 4}
+	for _, m := range fp.AllModes {
+		f.FiniteValues(func(b uint64, y float64) bool {
+			if y <= 0 { // negatives covered by mirror test
+				return true
+			}
+			iv, err := Rounding(y, f, m)
+			if err != nil {
+				t.Fatalf("%v: %v", y, err)
+			}
+			// Scan a fine grid around the value.
+			lo, hi := y*0.8-1e-3, y*1.25+1e-3
+			for v := lo; v <= hi; v += (hi - lo) / 400 {
+				got := f.Round(v, m)
+				in := iv.Contains(v)
+				if in && got != y {
+					t.Fatalf("%v mode %v: v=%g in %v but rounds to %g", y, m, v, iv, got)
+				}
+				if !in && got == y && v > 0 {
+					t.Fatalf("%v mode %v: v=%g outside %v but rounds to %g", y, m, v, iv, got)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestRoundingQuick is a testing/quick property: Rounding(y) always contains
+// y itself, and constraining with an inside value is the identity.
+func TestRoundingQuick(t *testing.T) {
+	f := fp.Format{Bits: 14, ExpBits: 6}
+	prop := func(bits uint16, mSel uint8) bool {
+		y := f.FromBits(uint64(bits) & (f.Count() - 1))
+		if math.IsNaN(y) || math.IsInf(y, 0) || y == 0 {
+			return true
+		}
+		m := fp.AllModes[int(mSel)%len(fp.AllModes)]
+		iv, err := Rounding(y, f, m)
+		if err != nil {
+			return false
+		}
+		if !iv.Contains(y) {
+			return false
+		}
+		return Constrain(iv, y) == iv
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package libm_test
+
+import (
+	"fmt"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/libm"
+)
+
+// The common case: correctly rounded float32 results.
+func ExampleExp2() {
+	fmt.Println(libm.Exp2(0.5))
+	fmt.Println(libm.Exp2(10))
+	fmt.Println(libm.Exp2(-1))
+	// Output:
+	// 1.4142135
+	// 1024
+	// 0.5
+}
+
+// One polynomial serves every format and rounding mode: take the raw double
+// and round it wherever needed (the RLibm-ALL guarantee).
+func ExampleRoundTo() {
+	d := libm.Log2Double(10, libm.SchemeEstrinFMA)
+	fmt.Println("bfloat16 rne:", libm.RoundTo(d, fp.Bfloat16, fp.RNE))
+	fmt.Println("bfloat16 rtp:", libm.RoundTo(d, fp.Bfloat16, fp.RTP))
+	fmt.Println("tf32     rne:", libm.RoundTo(d, fp.TensorFloat32, fp.RNE))
+	fmt.Println("float32  rtz:", float32(libm.RoundTo(d, fp.Float32, fp.RTZ)))
+	// Output:
+	// bfloat16 rne: 3.328125
+	// bfloat16 rtp: 3.328125
+	// tf32     rne: 3.322265625
+	// float32  rtz: 3.321928
+}
+
+// The four paper configurations return identical results; they differ only
+// in evaluation speed.
+func ExampleSchemes() {
+	x := float32(0.25)
+	fmt.Println(libm.Exp10Horner(x) == libm.Exp10Knuth(x),
+		libm.Exp10Estrin(x) == libm.Exp10EstrinFMA(x))
+	// Output:
+	// true true
+}

@@ -1,0 +1,117 @@
+package libm
+
+import (
+	"rlibm/internal/rangered"
+)
+
+// --- e^x ---
+
+// Exp returns the correctly rounded e^x using the fastest variant
+// (Estrin+FMA).
+func Exp(x float32) float32 { return float32(ExpDouble(x, SchemeEstrinFMA)) }
+
+// ExpHorner, ExpKnuth, ExpEstrin, ExpEstrinFMA are the four paper
+// configurations of e^x.
+func ExpHorner(x float32) float32    { return float32(ExpDouble(x, SchemeHorner)) }
+func ExpKnuth(x float32) float32     { return float32(ExpDouble(x, SchemeKnuth)) }
+func ExpEstrin(x float32) float32    { return float32(ExpDouble(x, SchemeEstrin)) }
+func ExpEstrinFMA(x float32) float32 { return float32(ExpDouble(x, SchemeEstrinFMA)) }
+
+// ExpDouble returns the raw double result of the chosen variant; it lies in
+// the 34-bit round-to-odd rounding interval of e^x.
+func ExpDouble(x float32, s Scheme) float64 {
+	return expFamily64(float64(x), &expData, s, rangered.ReduceExp)
+}
+
+// --- 2^x ---
+
+// Exp2 returns the correctly rounded 2^x using the fastest variant.
+func Exp2(x float32) float32 { return float32(Exp2Double(x, SchemeEstrinFMA)) }
+
+func Exp2Horner(x float32) float32    { return float32(Exp2Double(x, SchemeHorner)) }
+func Exp2Knuth(x float32) float32     { return float32(Exp2Double(x, SchemeKnuth)) }
+func Exp2Estrin(x float32) float32    { return float32(Exp2Double(x, SchemeEstrin)) }
+func Exp2EstrinFMA(x float32) float32 { return float32(Exp2Double(x, SchemeEstrinFMA)) }
+
+// Exp2Double returns the raw double result of the chosen variant.
+func Exp2Double(x float32, s Scheme) float64 {
+	return expFamily64(float64(x), &exp2Data, s, rangered.ReduceExp2)
+}
+
+// --- 10^x ---
+
+// Exp10 returns the correctly rounded 10^x using the fastest variant.
+func Exp10(x float32) float32 { return float32(Exp10Double(x, SchemeEstrinFMA)) }
+
+func Exp10Horner(x float32) float32    { return float32(Exp10Double(x, SchemeHorner)) }
+func Exp10Knuth(x float32) float32     { return float32(Exp10Double(x, SchemeKnuth)) }
+func Exp10Estrin(x float32) float32    { return float32(Exp10Double(x, SchemeEstrin)) }
+func Exp10EstrinFMA(x float32) float32 { return float32(Exp10Double(x, SchemeEstrinFMA)) }
+
+// Exp10Double returns the raw double result of the chosen variant.
+func Exp10Double(x float32, s Scheme) float64 {
+	return expFamily64(float64(x), &exp10Data, s, rangered.ReduceExp10)
+}
+
+// --- ln x ---
+
+// Log returns the correctly rounded natural logarithm using the fastest
+// variant.
+func Log(x float32) float32 { return float32(LogDouble(x, SchemeEstrinFMA)) }
+
+func LogHorner(x float32) float32    { return float32(LogDouble(x, SchemeHorner)) }
+func LogKnuth(x float32) float32     { return float32(LogDouble(x, SchemeKnuth)) }
+func LogEstrin(x float32) float32    { return float32(LogDouble(x, SchemeEstrin)) }
+func LogEstrinFMA(x float32) float32 { return float32(LogDouble(x, SchemeEstrinFMA)) }
+
+// LogDouble returns the raw double result of the chosen variant.
+func LogDouble(x float32, s Scheme) float64 {
+	return logFamily64(float64(x), &logData, s, rangered.CompensateLn)
+}
+
+// --- log2 x ---
+
+// Log2 returns the correctly rounded base-2 logarithm using the fastest
+// variant.
+func Log2(x float32) float32 { return float32(Log2Double(x, SchemeEstrinFMA)) }
+
+func Log2Horner(x float32) float32    { return float32(Log2Double(x, SchemeHorner)) }
+func Log2Knuth(x float32) float32     { return float32(Log2Double(x, SchemeKnuth)) }
+func Log2Estrin(x float32) float32    { return float32(Log2Double(x, SchemeEstrin)) }
+func Log2EstrinFMA(x float32) float32 { return float32(Log2Double(x, SchemeEstrinFMA)) }
+
+// Log2Double returns the raw double result of the chosen variant.
+func Log2Double(x float32, s Scheme) float64 {
+	return logFamily64(float64(x), &log2Data, s, rangered.CompensateLog2)
+}
+
+// --- log10 x ---
+
+// Log10 returns the correctly rounded base-10 logarithm using the fastest
+// variant.
+func Log10(x float32) float32 { return float32(Log10Double(x, SchemeEstrinFMA)) }
+
+func Log10Horner(x float32) float32    { return float32(Log10Double(x, SchemeHorner)) }
+func Log10Knuth(x float32) float32     { return float32(Log10Double(x, SchemeKnuth)) }
+func Log10Estrin(x float32) float32    { return float32(Log10Double(x, SchemeEstrin)) }
+func Log10EstrinFMA(x float32) float32 { return float32(Log10Double(x, SchemeEstrinFMA)) }
+
+// Log10Double returns the raw double result of the chosen variant.
+func Log10Double(x float32, s Scheme) float64 {
+	return logFamily64(float64(x), &log10Data, s, rangered.CompensateLog10)
+}
+
+// Funcs enumerates the library's functions for harness code: name, float32
+// implementation per scheme, and the raw-double implementation.
+var Funcs = []struct {
+	Name   string
+	F32    [4]func(float32) float32
+	Double func(float32, Scheme) float64
+}{
+	{"exp", [4]func(float32) float32{ExpHorner, ExpKnuth, ExpEstrin, ExpEstrinFMA}, ExpDouble},
+	{"exp2", [4]func(float32) float32{Exp2Horner, Exp2Knuth, Exp2Estrin, Exp2EstrinFMA}, Exp2Double},
+	{"exp10", [4]func(float32) float32{Exp10Horner, Exp10Knuth, Exp10Estrin, Exp10EstrinFMA}, Exp10Double},
+	{"log", [4]func(float32) float32{LogHorner, LogKnuth, LogEstrin, LogEstrinFMA}, LogDouble},
+	{"log2", [4]func(float32) float32{Log2Horner, Log2Knuth, Log2Estrin, Log2EstrinFMA}, Log2Double},
+	{"log10", [4]func(float32) float32{Log10Horner, Log10Knuth, Log10Estrin, Log10EstrinFMA}, Log10Double},
+}

@@ -1,0 +1,107 @@
+package lp
+
+import (
+	"math/big"
+)
+
+// Constraint bounds the polynomial output at one reduced input:
+// Lo <= P(X) <= Hi.
+type Constraint struct {
+	X      *big.Rat
+	Lo, Hi *big.Rat
+}
+
+// SolvePoly finds coefficients C_0..C_d with Lo_i <= P(X_i) <= Hi_i for all
+// constraints, maximizing the uniform relative margin: P(X_i) is pushed
+// toward the center of each interval (scaled by its half-width), which makes
+// the subsequent rounding of the exact rational coefficients to double far
+// more likely to preserve feasibility. Returns ok=false when the system is
+// infeasible.
+func SolvePoly(cons []Constraint, degree int) (coeffs []*big.Rat, ok bool) {
+	nc := degree + 1
+	// Variables: c_j = p_j - q_j (p,q >= 0), margin variable t >= 0,
+	// plus one slack per inequality row.
+	//
+	// Rows, per constraint i with half-width w_i = (Hi-Lo)/2:
+	//	 P(X_i) - w_i*t - s1_i          = Lo_i      (P >= Lo + w*t)
+	//	 P(X_i) + w_i*t + s2_i          = Hi_i      (P <= Hi - w*t)
+	// and one row bounding the margin:
+	//	 t + s3 = 1
+	// Objective: maximize t (minimize -t).
+	m := 2*len(cons) + 1
+	n := 2*nc + 1 + m // c+/c- , t, one slack per row
+	a := make([][]*big.Rat, m)
+	b := make([]*big.Rat, m)
+	for i := range a {
+		a[i] = make([]*big.Rat, n)
+		for j := range a[i] {
+			a[i][j] = new(big.Rat)
+		}
+	}
+	tVar := 2 * nc
+	slack0 := 2*nc + 1
+
+	pow := new(big.Rat)
+	for i, c := range cons {
+		w := new(big.Rat).Sub(c.Hi, c.Lo)
+		w.Mul(w, big.NewRat(1, 2))
+		lo, hi := 2*i, 2*i+1
+		pow.SetInt64(1)
+		for j := 0; j < nc; j++ {
+			a[lo][2*j].Set(pow)
+			a[lo][2*j+1].Neg(pow)
+			a[hi][2*j].Set(pow)
+			a[hi][2*j+1].Neg(pow)
+			pow.Mul(pow, c.X)
+		}
+		a[lo][tVar].Neg(w)
+		a[hi][tVar].Set(w)
+		a[lo][slack0+lo].SetInt64(-1)
+		a[hi][slack0+hi].SetInt64(1)
+		b[lo] = new(big.Rat).Set(c.Lo)
+		b[hi] = new(big.Rat).Set(c.Hi)
+	}
+	// t <= 1.
+	last := m - 1
+	a[last][tVar].SetInt64(1)
+	a[last][slack0+last].SetInt64(1)
+	b[last] = big.NewRat(1, 1)
+
+	cost := make([]*big.Rat, n)
+	for j := range cost {
+		cost[j] = new(big.Rat)
+	}
+	cost[tVar].SetInt64(-1) // maximize t
+
+	z, ok := SolveStandard(a, b, cost)
+	if !ok {
+		return nil, false
+	}
+	coeffs = make([]*big.Rat, nc)
+	for j := 0; j < nc; j++ {
+		coeffs[j] = new(big.Rat).Sub(z[2*j], z[2*j+1])
+	}
+	return coeffs, true
+}
+
+// CheckPoly reports whether the exact rational polynomial satisfies every
+// constraint.
+func CheckPoly(coeffs []*big.Rat, cons []Constraint) bool {
+	for _, c := range cons {
+		v := EvalRat(coeffs, c.X)
+		if v.Cmp(c.Lo) < 0 || v.Cmp(c.Hi) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalRat evaluates the rational polynomial at x (Horner, exact).
+func EvalRat(coeffs []*big.Rat, x *big.Rat) *big.Rat {
+	v := new(big.Rat)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		v.Mul(v, x)
+		v.Add(v, coeffs[i])
+	}
+	return v
+}

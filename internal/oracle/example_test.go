@@ -1,0 +1,32 @@
+package oracle_test
+
+import (
+	"fmt"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+)
+
+// Correct answers any (format, mode) question with a correctly rounded
+// value — including the round-to-odd mode the RLibm-ALL pipeline trains
+// against.
+func ExampleCorrect() {
+	fmt.Println(oracle.Correct(oracle.Log2, 10, fp.Bfloat16, fp.RNE))
+	fmt.Println(oracle.Correct(oracle.Log2, 10, fp.Bfloat16, fp.RTZ))
+	fmt.Println(oracle.Correct(oracle.Exp2, 10, fp.Float32, fp.RTZ))
+	// Output:
+	// 3.328125
+	// 3.3125
+	// 1024
+}
+
+// Compute evaluates once and rounds many times — the hot pattern in the
+// verification sweeps.
+func ExampleCompute() {
+	v := oracle.Compute(oracle.Exp, 1)
+	fmt.Println(float32(v.Round(fp.Float32, fp.RNE)))
+	fmt.Println(v.Round(fp.Bfloat16, fp.RTZ))
+	// Output:
+	// 2.7182817
+	// 2.703125
+}

@@ -1,0 +1,320 @@
+// Package oracle provides correctly rounded values of the six elementary
+// functions the paper evaluates (e^x, 2^x, 10^x, ln x, log2 x, log10 x) for
+// any supported floating-point format and rounding mode, including
+// round-to-odd.
+//
+// The paper's prototype uses MPFR; this package plays that role with a
+// Ziv-style loop on math/big: evaluate with a bounded relative error, check
+// whether the error interval rounds unambiguously, and retry with more
+// precision otherwise. Inputs whose exact result is a rational number
+// (exp2 of an integer, log2 of a power of two, ...) are detected
+// algebraically and rounded exactly, which is what makes the loop terminate
+// for every input.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"rlibm/internal/fp"
+)
+
+// Func identifies one of the six elementary functions.
+type Func int
+
+const (
+	Exp Func = iota
+	Exp2
+	Exp10
+	Log
+	Log2
+	Log10
+	// Sinpi and Cospi are the trigonometric extension the paper's
+	// conclusion announces as future work; RLibm ships them because their
+	// argument reduction is exact for binary floating-point inputs.
+	Sinpi
+	Cospi
+)
+
+// Funcs lists the six functions of the paper's evaluation, in its order.
+var Funcs = []Func{Exp, Exp2, Exp10, Log, Log2, Log10}
+
+// TrigFuncs lists the trigonometric extension functions.
+var TrigFuncs = []Func{Sinpi, Cospi}
+
+// AllFuncs lists every supported function.
+var AllFuncs = append(append([]Func{}, Funcs...), TrigFuncs...)
+
+func (f Func) String() string {
+	switch f {
+	case Exp:
+		return "exp"
+	case Exp2:
+		return "exp2"
+	case Exp10:
+		return "exp10"
+	case Log:
+		return "log"
+	case Log2:
+		return "log2"
+	case Log10:
+		return "log10"
+	case Sinpi:
+		return "sinpi"
+	case Cospi:
+		return "cospi"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// ParseFunc converts a CLI name into a Func.
+func ParseFunc(s string) (Func, error) {
+	for _, f := range AllFuncs {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("oracle: unknown function %q", s)
+}
+
+// IsLog reports whether the function is one of the logarithms.
+func (f Func) IsLog() bool { return f == Log || f == Log2 || f == Log10 }
+
+// IsTrig reports whether the function is one of the trigonometric
+// extensions.
+func (f Func) IsTrig() bool { return f == Sinpi || f == Cospi }
+
+// IsExpFamily reports whether the function is e^x, 2^x or 10^x.
+func (f Func) IsExpFamily() bool { return f == Exp || f == Exp2 || f == Exp10 }
+
+// expArgLimit bounds |x| for the exponential family: beyond it the result
+// overflows (or underflows) every supported format by an astronomical
+// margin, and a symbolic stand-in is rounded instead of evaluating the
+// series.
+const expArgLimit = 1e8
+
+// MathRef returns the float64 math-package reference for the function, used
+// only in sanity tests.
+func (f Func) MathRef(x float64) float64 {
+	switch f {
+	case Exp:
+		return math.Exp(x)
+	case Exp2:
+		return math.Exp2(x)
+	case Exp10:
+		return math.Pow(10, x)
+	case Log:
+		return math.Log(x)
+	case Log2:
+		return math.Log2(x)
+	case Log10:
+		return math.Log10(x)
+	case Sinpi:
+		return math.Sin(math.Pi * x)
+	case Cospi:
+		return math.Cos(math.Pi * x)
+	}
+	panic("oracle: bad func")
+}
+
+// EvalBig returns an approximation of f(x) with relative error below
+// 2^-prec. The input must be finite; logarithms require x > 0; the
+// exponential family requires |x| <= expArgLimit.
+func (f Func) EvalBig(x float64, prec uint) *big.Float {
+	bx := new(big.Float).SetPrec(prec + 128).SetFloat64(x)
+	switch f {
+	case Exp:
+		return expBig(bx, prec)
+	case Exp2:
+		return exp2Big(bx, prec)
+	case Exp10:
+		return exp10Big(bx, prec)
+	case Log:
+		return logBig(bx, prec)
+	case Log2:
+		return log2Big(bx, prec)
+	case Log10:
+		return log10Big(bx, prec)
+	case Sinpi:
+		return sinpiBig(bx, prec)
+	case Cospi:
+		return cospiBig(bx, prec)
+	}
+	panic("oracle: bad func")
+}
+
+// ExactValue reports whether f(x) is exactly a rational number and returns
+// it. The generator uses this to enumerate the inputs with singleton
+// rounding intervals (integral exp2 arguments, powers of two for log2, ...),
+// which must never be dropped by constraint sampling.
+func ExactValue(f Func, x float64) (*big.Rat, bool) {
+	return exactResult(f, x)
+}
+
+// exactResult reports whether f(x) is exactly a rational number and returns
+// it. For these six functions, classical transcendence results (Lindemann,
+// Gelfond–Schneider) guarantee f(x) is irrational — indeed transcendental —
+// for every other finite nonzero machine input, so the Ziv loop terminates.
+func exactResult(f Func, x float64) (*big.Rat, bool) {
+	isInt := x == math.Trunc(x)
+	switch f {
+	case Exp:
+		if x == 0 {
+			return big.NewRat(1, 1), true
+		}
+	case Exp2:
+		if isInt && math.Abs(x) <= 4096 {
+			return ratPow(2, int(x)), true
+		}
+	case Exp10:
+		if isInt && math.Abs(x) <= 640 {
+			return ratPow(10, int(x)), true
+		}
+	case Log:
+		if x == 1 {
+			return new(big.Rat), true
+		}
+	case Log2:
+		if x > 0 {
+			m, e := math.Frexp(x)
+			if m == 0.5 {
+				return new(big.Rat).SetInt64(int64(e - 1)), true
+			}
+		}
+	case Log10:
+		if x > 0 {
+			n := int(math.Round(math.Log10(x)))
+			if math.Abs(float64(n)) <= 640 {
+				if new(big.Rat).SetFloat64(x).Cmp(ratPow(10, n)) == 0 {
+					return new(big.Rat).SetInt64(int64(n)), true
+				}
+			}
+		}
+	case Sinpi, Cospi:
+		return trigExact(f, x)
+	}
+	return nil, false
+}
+
+func ratPow(base int64, n int) *big.Rat {
+	abs := n
+	if abs < 0 {
+		abs = -abs
+	}
+	p := new(big.Int).Exp(big.NewInt(base), big.NewInt(int64(abs)), nil)
+	if n >= 0 {
+		return new(big.Rat).SetInt(p)
+	}
+	return new(big.Rat).SetFrac(big.NewInt(1), p)
+}
+
+// Value is a reusable oracle result for one (function, input) pair: the
+// expensive arbitrary-precision evaluation happens once, and Round answers
+// any number of (format, mode) questions against it, refining the precision
+// lazily in the rare ambiguous cases. Not safe for concurrent use.
+type Value struct {
+	fn       Func
+	x        float64
+	exact    *big.Rat // non-nil when f(x) is exactly rational
+	symbolic int      // +1 far overflow, -1 far underflow, 0 normal
+	prec     uint
+	y        *big.Float
+}
+
+// Compute evaluates f(x) once for later rounding. The domain restrictions
+// of Correct apply.
+func Compute(f Func, x float64) *Value {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic("oracle: non-finite input")
+	}
+	if f.IsLog() && x <= 0 {
+		panic("oracle: logarithm of a non-positive value")
+	}
+	v := &Value{fn: f, x: x}
+	if f.IsExpFamily() && math.Abs(x) > expArgLimit {
+		if x > 0 {
+			v.symbolic = 1
+		} else {
+			v.symbolic = -1
+		}
+		return v
+	}
+	if r, ok := exactResult(f, x); ok {
+		v.exact = r
+		return v
+	}
+	v.prec = 80
+	v.y = f.EvalBig(x, v.prec)
+	return v
+}
+
+// Round returns the correctly rounded value of f(x) in format t under mode
+// m, raising the working precision until rounding is unambiguous.
+func (v *Value) Round(t fp.Format, m fp.Mode) float64 {
+	if v.symbolic != 0 {
+		return roundSymbolic(t, m, v.symbolic > 0)
+	}
+	if v.exact != nil {
+		return t.RoundRat(v.exact, m)
+	}
+	for {
+		if r, ok := roundUnambiguous(v.y, v.prec-8, t, m); ok {
+			return r
+		}
+		if v.prec > 16384 {
+			panic(fmt.Sprintf("oracle: Ziv loop did not converge for %v(%g)", v.fn, v.x))
+		}
+		v.prec *= 2
+		v.y = v.fn.EvalBig(v.x, v.prec)
+	}
+}
+
+// Correct returns the correctly rounded value of f(x) in format t under
+// rounding mode m. x must be finite and inside the function's domain
+// (x > 0 for logarithms); domain edges (infinities, NaN, non-positive log
+// arguments, exact zeros) are the caller's special cases, as in RLibm.
+func Correct(f Func, x float64, t fp.Format, m fp.Mode) float64 {
+	return Compute(f, x).Round(t, m)
+}
+
+// CorrectRO34 returns the RLibm-ALL oracle value: f(x) rounded to the
+// 34-bit format with round-to-odd.
+func CorrectRO34(f Func, x float64) float64 {
+	return Correct(f, x, fp.FP34, fp.RTO)
+}
+
+// roundSymbolic rounds a stand-in for an exponential result that is far
+// beyond (huge=true) or far below (huge=false) every representable
+// magnitude, honoring the mode-dependent overflow/underflow behaviour.
+func roundSymbolic(t fp.Format, m fp.Mode, huge bool) float64 {
+	if huge {
+		over := new(big.Rat).SetFloat64(t.MaxFinite())
+		over.Mul(over, big.NewRat(4, 1))
+		return t.RoundRat(over, m)
+	}
+	tiny := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), 2000))
+	return t.RoundRat(tiny, m)
+}
+
+// roundUnambiguous rounds y under the assumption |relative error| <
+// 2^-errBits; ok is false when the error interval straddles a rounding
+// boundary and more precision is needed.
+func roundUnambiguous(y *big.Float, errBits uint, t fp.Format, m fp.Mode) (float64, bool) {
+	wp := y.Prec() + 8
+	e := new(big.Float).SetPrec(wp).Abs(y)
+	e.SetMantExp(e, -int(errBits))
+	lo := new(big.Float).SetPrec(wp).Sub(y, e)
+	hi := new(big.Float).SetPrec(wp).Add(y, e)
+	vlo := t.RoundBigFloat(lo, m)
+	vhi := t.RoundBigFloat(hi, m)
+	if sameFloat(vlo, vhi) {
+		return vlo, true
+	}
+	return 0, false
+}
+
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

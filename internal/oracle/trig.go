@@ -1,0 +1,242 @@
+package oracle
+
+import (
+	"math"
+	"math/big"
+)
+
+// The paper's conclusion mentions extending fast polynomial evaluation to
+// trigonometric functions; RLibm itself ships sinpi/cospi because their
+// argument reduction is exact for binary inputs (x mod 2 is dyadic), which
+// sidesteps the pi-reduction problem. This file provides the oracle side:
+// arbitrary-precision sin(pi*x) and cos(pi*x) with exact-case detection.
+
+// piCache holds pi to the highest precision computed so far (Machin's
+// formula).
+var piCache struct {
+	prec uint
+	pi   *big.Float
+}
+
+// piConst returns pi valid to at least prec bits.
+func piConst(prec uint) *big.Float {
+	constCache.Lock()
+	defer constCache.Unlock()
+	if piCache.prec < prec {
+		wp := prec + 64
+		// Machin: pi = 16*atan(1/5) - 4*atan(1/239).
+		a5 := atanSeries(big.NewFloat(0).SetPrec(wp).Quo(big.NewFloat(1).SetPrec(wp), big.NewFloat(5).SetPrec(wp)), wp)
+		a239 := atanSeries(big.NewFloat(0).SetPrec(wp).Quo(big.NewFloat(1).SetPrec(wp), big.NewFloat(239).SetPrec(wp)), wp)
+		a5.Mul(a5, big.NewFloat(16).SetPrec(wp))
+		a239.Mul(a239, big.NewFloat(4).SetPrec(wp))
+		piCache.pi = a5.Sub(a5, a239)
+		piCache.prec = prec
+	}
+	return piCache.pi
+}
+
+// Pi returns pi valid to at least prec bits (exported for the trig range
+// reduction tables).
+func Pi(prec uint) *big.Float { return piConst(prec) }
+
+// atanSeries computes atan(t) = t - t^3/3 + t^5/5 - ... for |t| < 1/2.
+func atanSeries(t *big.Float, wp uint) *big.Float {
+	sum := new(big.Float).SetPrec(wp).Set(t)
+	t2 := new(big.Float).SetPrec(wp).Mul(t, t)
+	pow := new(big.Float).SetPrec(wp).Set(t)
+	term := new(big.Float).SetPrec(wp)
+	cut := -int(wp) - 8
+	inv := recips(int(wp)/2+16, wp)
+	neg := true
+	for k := 3; ; k += 2 {
+		pow.Mul(pow, t2)
+		if k >= len(inv) {
+			inv = recips(k+16, wp)
+		}
+		term.Mul(pow, inv[k])
+		if term.Sign() == 0 || term.MantExp(nil) < cut+sum.MantExp(nil) {
+			break
+		}
+		if neg {
+			sum.Sub(sum, term)
+		} else {
+			sum.Add(sum, term)
+		}
+		neg = !neg
+	}
+	return sum
+}
+
+// sinTaylor computes sin(t) for |t| <= pi/2 at working precision wp.
+func sinTaylor(t *big.Float, wp uint) *big.Float {
+	sum := new(big.Float).SetPrec(wp).Set(t)
+	t2 := new(big.Float).SetPrec(wp).Mul(t, t)
+	term := new(big.Float).SetPrec(wp).Set(t)
+	cut := -int(wp) - 8
+	inv := recips(int(wp)+32, wp)
+	neg := true
+	for k := 3; ; k += 2 {
+		term.Mul(term, t2)
+		if k >= len(inv) {
+			inv = recips(k+16, wp)
+		}
+		term.Mul(term, inv[k-1])
+		term.Mul(term, inv[k])
+		if term.Sign() == 0 || term.MantExp(nil) < cut {
+			break
+		}
+		if neg {
+			sum.Sub(sum, term)
+		} else {
+			sum.Add(sum, term)
+		}
+		neg = !neg
+	}
+	return sum
+}
+
+// trigReduce maps a finite dyadic x to (sign, m) with m in [0, 1/2] and
+// sin(pi*x) = sign * sin(pi*m). Negative inputs reduce through the odd
+// symmetry sin(-t) = -sin(t): adding 2 to a tiny negative remainder would
+// round to exactly 2 and lose the input, while every step below is exact.
+func trigReduce(x float64) (sign int, m float64) {
+	sign = 1
+	if x < 0 {
+		sign = -1
+		x = -x
+	}
+	u := math.Mod(x, 2) // exact, and in [0, 2)
+	if u >= 1 {
+		sign = -sign
+		u -= 1 // exact
+	}
+	if u > 0.5 {
+		u = 1 - u // exact (Sterbenz)
+	}
+	return sign, u
+}
+
+// sinpiBig computes sin(pi*x) with relative error below 2^-prec for
+// non-exact cases (m not in {0, 1/2}).
+func sinpiBig(x *big.Float, prec uint) *big.Float {
+	wp := prec + 48
+	xf, _ := x.Float64()
+	sign, m := trigReduce(xf)
+	bm := new(big.Float).SetPrec(wp).SetFloat64(m)
+	t := new(big.Float).SetPrec(wp).Mul(bm, piConst(wp))
+	s := sinTaylor(t, wp)
+	if sign < 0 {
+		s.Neg(s)
+	}
+	return s
+}
+
+// cosTaylor computes cos(t) for |t| <= pi/2 at working precision wp.
+func cosTaylor(t *big.Float, wp uint) *big.Float {
+	sum := big.NewFloat(1).SetPrec(wp)
+	t2 := new(big.Float).SetPrec(wp).Mul(t, t)
+	term := big.NewFloat(1).SetPrec(wp)
+	cut := -int(wp) - 8
+	inv := recips(int(wp)+32, wp)
+	neg := true
+	for k := 2; ; k += 2 {
+		term.Mul(term, t2)
+		if k >= len(inv) {
+			inv = recips(k+16, wp)
+		}
+		term.Mul(term, inv[k-1])
+		term.Mul(term, inv[k])
+		if term.Sign() == 0 || term.MantExp(nil) < cut {
+			break
+		}
+		if neg {
+			sum.Sub(sum, term)
+		} else {
+			sum.Add(sum, term)
+		}
+		neg = !neg
+	}
+	return sum
+}
+
+// cosReduce maps a finite dyadic x to (sign, w) with w in [0, 1/2] and
+// cos(pi*x) = sign * cos(pi*w). Negative inputs use the even symmetry, so
+// every step (mod, reflections) is exact in double.
+func cosReduce(x float64) (sign int, w float64) {
+	u := math.Mod(math.Abs(x), 2) // exact, in [0, 2)
+	if u > 1 {
+		u = 2 - u // exact (Sterbenz)
+	}
+	sign = 1
+	if u > 0.5 {
+		sign = -1
+		u = 1 - u // cos(pi*u) = -cos(pi*(1-u)); exact (Sterbenz)
+	}
+	return sign, u
+}
+
+// cospiBig computes cos(pi*x) with relative error below 2^-prec for
+// non-exact cases. The reduction is exact; the quadrant value uses the
+// cosine series near 0 (where converting to sin would need an inexact
+// 1/2 - w) and the sine series near 1/2 (where 1/2 - w is exact).
+func cospiBig(x *big.Float, prec uint) *big.Float {
+	wp := prec + 48
+	xf, _ := x.Float64()
+	sign, w := cosReduce(xf)
+	var s *big.Float
+	if w <= 0.25 {
+		t := new(big.Float).SetPrec(wp).SetFloat64(w)
+		t.Mul(t, piConst(wp))
+		s = cosTaylor(t, wp)
+	} else {
+		t := new(big.Float).SetPrec(wp).SetFloat64(0.5 - w) // exact: w in [1/4, 1/2]
+		t.Mul(t, piConst(wp))
+		s = sinTaylor(t, wp)
+	}
+	if sign < 0 {
+		s.Neg(s)
+	}
+	return s
+}
+
+// trigExact reports the exact rational value of sin(pi*x) or cos(pi*x) when
+// x is a multiple of 1/2 — the only dyadic inputs with rational results
+// (Niven's theorem: the other rational-sine angles involve sixths, which
+// are never dyadic).
+func trigExact(f Func, x float64) (*big.Rat, bool) {
+	ax := math.Abs(x)
+	if ax >= 1<<52 {
+		// Every such double is an integer: sin(pi*n) = 0;
+		// cos(pi*n) = +1 for even n, -1 for odd n.
+		if f == Sinpi {
+			return new(big.Rat), true
+		}
+		if math.Mod(x, 2) == 0 {
+			return big.NewRat(1, 1), true
+		}
+		return big.NewRat(-1, 1), true
+	}
+	t := x * 2 // exact for |x| < 2^52
+	if t != math.Trunc(t) {
+		return nil, false
+	}
+	// x is a multiple of 1/2; both functions are exactly 0 or +-1 there.
+	if f == Cospi {
+		sign, w := cosReduce(x)
+		switch w {
+		case 0:
+			return big.NewRat(int64(sign), 1), true
+		case 0.5:
+			return new(big.Rat), true
+		}
+		return nil, false
+	}
+	sign, m := trigReduce(x)
+	switch m {
+	case 0:
+		return new(big.Rat), true
+	case 0.5:
+		return big.NewRat(int64(sign), 1), true
+	}
+	return nil, false
+}

@@ -1,0 +1,166 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rlibm/internal/fp"
+)
+
+func TestPiConstant(t *testing.T) {
+	pi := Pi(120)
+	got, _ := pi.Float64()
+	if got != math.Pi {
+		t.Errorf("Pi(120) rounds to %.17g, math.Pi is %.17g", got, math.Pi)
+	}
+}
+
+func TestTrigExactCases(t *testing.T) {
+	f32 := fp.Float32
+	cases := []struct {
+		fn   Func
+		x    float64
+		want float64
+	}{
+		{Sinpi, 0, 0}, {Sinpi, 1, 0}, {Sinpi, -3, 0}, {Sinpi, 1e20, 0},
+		{Sinpi, 0.5, 1}, {Sinpi, 2.5, 1}, {Sinpi, 1.5, -1}, {Sinpi, -0.5, -1},
+		{Cospi, 0, 1}, {Cospi, 2, 1}, {Cospi, 1, -1}, {Cospi, -3, -1},
+		{Cospi, 0.5, 0}, {Cospi, 7.5, 0},
+		{Cospi, math.Ldexp(1, 53), 1},      // huge even integer
+		{Cospi, math.Ldexp(1, 52) + 1, -1}, // huge odd integer
+		{Sinpi, math.Ldexp(1, 60), 0},      //
+	}
+	for _, tc := range cases {
+		for _, m := range fp.AllModes {
+			if got := Correct(tc.fn, tc.x, f32, m); got != tc.want {
+				t.Errorf("%v(%g) mode %v = %g, want %g", tc.fn, tc.x, m, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestTrigAgainstMath: within a couple of float32 ulps of the math package.
+func TestTrigAgainstMath(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	f32 := fp.Float32
+	for _, fn := range TrigFuncs {
+		for i := 0; i < 400; i++ {
+			x := float64(float32((rng.Float64()*2 - 1) * 4))
+			if _, exact := ExactValue(fn, x); exact {
+				continue
+			}
+			got := Correct(fn, x, f32, fp.RNE)
+			want := float64(float32(fn.MathRef(x)))
+			diff := math.Abs(got - want)
+			ulp := math.Abs(f32.NextUp(math.Abs(want)) - math.Abs(want))
+			if diff > 2*ulp+1e-30 {
+				t.Fatalf("%v(%g) = %.10g, math %.10g", fn, x, got, want)
+			}
+		}
+	}
+}
+
+// TestTrigSymmetries: sin(pi*(-x)) = -sin(pi*x); cos(pi*(-x)) = cos(pi*x);
+// sin(pi*(x+1)) = -sin(pi*x) — checked through the correctly rounded oracle
+// at a symmetric rounding mode.
+func TestTrigSymmetries(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	f := fp.Format{Bits: 20, ExpBits: 8}
+	for i := 0; i < 200; i++ {
+		x := float64(float32(rng.Float64() * 2))
+		s := Correct(Sinpi, x, f, fp.RNE)
+		if got := Correct(Sinpi, -x, f, fp.RNE); got != -s {
+			t.Fatalf("sinpi(-%g) = %g, want %g", x, got, -s)
+		}
+		if got := Correct(Sinpi, x+1, f, fp.RNE); got != -s {
+			t.Fatalf("sinpi(%g+1) = %g, want %g", x, got, -s)
+		}
+		c := Correct(Cospi, x, f, fp.RNE)
+		if got := Correct(Cospi, -x, f, fp.RNE); got != c {
+			t.Fatalf("cospi(-%g) = %g, want %g", x, got, c)
+		}
+	}
+}
+
+// TestTrigPythagoras: sin^2 + cos^2 = 1 to high precision via EvalBig.
+func TestTrigPythagoras(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for i := 0; i < 60; i++ {
+		x := rng.Float64()*8 - 4
+		s := Sinpi.EvalBig(x, 160)
+		c := Cospi.EvalBig(x, 160)
+		s.Mul(s, s)
+		c.Mul(c, c)
+		s.Add(s, c)
+		diff, _ := s.Float64()
+		if math.Abs(diff-1) > 1e-40 {
+			t.Fatalf("sin^2+cos^2 at %g = %.20g", x, diff)
+		}
+	}
+}
+
+func TestTrigRangeValues(t *testing.T) {
+	// |sin|, |cos| <= 1 for many inputs and modes.
+	rng := rand.New(rand.NewSource(94))
+	f := fp.Bfloat16
+	for i := 0; i < 300; i++ {
+		x := float64(float32((rng.Float64()*2 - 1) * 100))
+		for _, m := range fp.AllModes {
+			for _, fn := range TrigFuncs {
+				v := Correct(fn, x, f, m)
+				if math.Abs(v) > 1 {
+					t.Fatalf("%v(%g) mode %v = %g out of range", fn, x, m, v)
+				}
+			}
+		}
+	}
+}
+
+// TestTrigTinyArguments is the regression test for the reduction of tiny
+// and tiny-negative inputs: adding the period to a tiny negative remainder
+// used to round to exactly 2 and silently lose the input in both the oracle
+// and the range reduction.
+func TestTrigTinyArguments(t *testing.T) {
+	f := fp.Format{Bits: 20, ExpBits: 8}
+	for _, x := range []float64{2.2958874039497803e-41, -2.2958874039497803e-41, 1e-30, -1e-30} {
+		// sinpi(x) ~ pi*x: correctly rounded must be nonzero with x's sign
+		// (results this small are subnormal in the 20-bit format, so the
+		// comparison tolerance is the subnormal granularity).
+		s := Correct(Sinpi, x, f, fp.RNE)
+		if s == 0 || (s > 0) != (x > 0) {
+			t.Errorf("sinpi(%g) = %g, want ~pi*x", x, s)
+		}
+		ref := math.Pi * x
+		if math.Abs(s-ref) > math.Abs(ref)*0.01+f.MinSubnormal() {
+			t.Errorf("sinpi(%g) = %g, expected ~%g", x, s, ref)
+		}
+		// cospi(x) is just below 1: RTZ must give NextDown(1), not 1.
+		c := Correct(Cospi, x, f, fp.RTZ)
+		if c != f.NextDown(1) {
+			t.Errorf("cospi(%g) RTZ = %g, want %g", x, c, f.NextDown(1))
+		}
+		if got := Correct(Cospi, x, f, fp.RTP); got != 1 {
+			t.Errorf("cospi(%g) RTP = %g, want 1", x, got)
+		}
+	}
+	// Deep underflow: pi*x is far below the smallest subnormal, so RNE
+	// flushes to zero but RTP must return the smallest subnormal.
+	if got := Correct(Sinpi, 5e-150, f, fp.RNE); got != 0 {
+		t.Errorf("sinpi(5e-150) RNE = %g, want 0", got)
+	}
+	if got := Correct(Sinpi, 5e-150, f, fp.RTP); got != f.MinSubnormal() {
+		t.Errorf("sinpi(5e-150) RTP = %g, want min subnormal", got)
+	}
+	// Near even and odd integers from both sides.
+	for _, base := range []float64{2, -2, 6} {
+		d := 1.52587890625e-05 // 2^-16
+		if got := Correct(Cospi, base+d, f, fp.RTP); got != 1 {
+			t.Errorf("cospi(%g) RTP = %g, want 1", base+d, got)
+		}
+		s := Correct(Sinpi, base+d, f, fp.RNE)
+		if s == 0 || math.Abs(s-math.Pi*d) > math.Pi*d*0.01 {
+			t.Errorf("sinpi(%g) = %g, want ~%g", base+d, s, math.Pi*d)
+		}
+	}
+}

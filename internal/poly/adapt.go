@@ -1,0 +1,135 @@
+package poly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rlibm/internal/cubic"
+)
+
+// ErrNotAdaptable is returned when Knuth's coefficient adaptation does not
+// apply: the degree is below 4 or the leading coefficient is zero.
+var ErrNotAdaptable = errors.New("poly: polynomial not adaptable (degree < 4 or zero leading coefficient)")
+
+// Adapt4 computes Knuth's adapted coefficients for a degree-4 polynomial
+// (Section 3.1, equations 3-4). The adapted form evaluates with 3
+// multiplications and 5 additions instead of Horner's 4 and 4:
+//
+//	y = (x + a0)*x + a1
+//	u(x) = ((y + x + a2)*y + a3) * a4
+func Adapt4(u [5]float64) ([5]float64, error) {
+	if u[4] == 0 || !allFinite(u[:]) {
+		return [5]float64{}, ErrNotAdaptable
+	}
+	a0 := (u[3]/u[4] - 1) / 2
+	beta := u[2]/u[4] - a0*(a0+1)
+	a1 := u[1]/u[4] - a0*beta
+	a2 := beta - 2*a1
+	a3 := u[0]/u[4] - a1*(a1+a2)
+	out := [5]float64{a0, a1, a2, a3, u[4]}
+	if !allFinite(out[:]) {
+		return [5]float64{}, fmt.Errorf("poly: degree-4 adaptation overflowed: %v", out)
+	}
+	return out, nil
+}
+
+// Adapt5 computes Knuth's adapted coefficients for a degree-5 polynomial
+// (Section 3.2, equations 5-7). Requires the real root of a cubic, solved in
+// double precision. The adapted form evaluates with 4 multiplications and 5
+// additions:
+//
+//	y = (x + a0)^2
+//	u(x) = (((y + a1)*y + a2)*(x + a3) + a4) * a5
+func Adapt5(u [6]float64) ([6]float64, error) {
+	if u[5] == 0 || !allFinite(u[:]) {
+		return [6]float64{}, ErrNotAdaptable
+	}
+	p := u[3] / u[5]
+	q := u[4] / u[5]
+	// Equation 6: p*q - 2(p+2q^2)*a0 + 24q*a0^2 - 40*a0^3 = u2/u5,
+	// i.e. -40*a0^3 + 24q*a0^2 - 2(p+2q^2)*a0 + (p*q - u2/u5) = 0.
+	a0, err := cubic.OneRealRoot(-40, 24*q, -2*(p+2*q*q), p*q-u[2]/u[5])
+	if err != nil {
+		return [6]float64{}, err
+	}
+	a1 := p - 4*q*a0 + 10*a0*a0
+	a3 := q - 4*a0
+	a2 := u[1]/u[5] - a0*a0*(a1+a0*a0) - 2*a0*a3*(a1+2*a0*a0)
+	a4 := u[0]/u[5] - a2*a3 - a0*a0*a3*(a1+a0*a0)
+	out := [6]float64{a0, a1, a2, a3, a4, u[5]}
+	if !allFinite(out[:]) {
+		return [6]float64{}, fmt.Errorf("poly: degree-5 adaptation overflowed: %v", out)
+	}
+	return out, nil
+}
+
+// Adapt6 computes Knuth's adapted coefficients for a degree-6 polynomial
+// (Section 3.3, equations 8-12). The adapted form evaluates with 4
+// multiplications and 7 additions, saving two of Horner's 6 multiplications:
+//
+//	z = (x + a0)*x + a1
+//	w = (x + a2)*z + a3
+//	u(x) = ((w + z + a4)*w + a5) * a6
+func Adapt6(u [7]float64) ([7]float64, error) {
+	if u[6] == 0 || !allFinite(u[:]) {
+		return [7]float64{}, ErrNotAdaptable
+	}
+	// Normalize to a monic polynomial (alpha6 = u6 restores the scale).
+	var m [6]float64
+	for i := 0; i < 6; i++ {
+		m[i] = u[i] / u[6]
+	}
+	b1 := (m[5] - 1) / 2
+	b2 := m[4] - b1*(b1+1)
+	b3 := m[3] - b1*b2
+	b4 := b1 - b2
+	b5 := m[2] - b1*b3
+	// Equation 10: 2y^3 + (2b4 - b2 + 1)y^2 + (2b5 - b2*b4 - b3)y + (u1 - b2*b5) = 0.
+	b6, err := cubic.OneRealRoot(2, 2*b4-b2+1, 2*b5-b2*b4-b3, m[1]-b2*b5)
+	if err != nil {
+		return [7]float64{}, err
+	}
+	b7 := b6*b6 + b4*b6 + b5
+	b8 := b3 - b6 - b7
+	a0 := b2 - 2*b6
+	a2 := b1 - a0
+	a1 := b6 - a0*a2
+	a3 := b7 - a1*a2
+	a4 := b8 - b7 - a1
+	a5 := m[0] - b7*b8
+	out := [7]float64{a0, a1, a2, a3, a4, a5, u[6]}
+	if !allFinite(out[:]) {
+		return [7]float64{}, fmt.Errorf("poly: degree-6 adaptation overflowed: %v", out)
+	}
+	return out, nil
+}
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalAdapted4 evaluates the degree-4 adapted form in float64.
+func EvalAdapted4(a *[5]float64, x float64) float64 {
+	y := (x+a[0])*x + a[1]
+	return ((y+x+a[2])*y + a[3]) * a[4]
+}
+
+// EvalAdapted5 evaluates the degree-5 adapted form in float64.
+func EvalAdapted5(a *[6]float64, x float64) float64 {
+	s := x + a[0]
+	y := s * s
+	return (((y+a[1])*y+a[2])*(x+a[3]) + a[4]) * a[5]
+}
+
+// EvalAdapted6 evaluates the degree-6 adapted form in float64.
+func EvalAdapted6(a *[7]float64, x float64) float64 {
+	z := (x+a[0])*x + a[1]
+	w := (x+a[2])*z + a[3]
+	return ((w+z+a[4])*w + a[5]) * a[6]
+}

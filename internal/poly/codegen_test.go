@@ -1,0 +1,151 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGenEvalShapes: the generated code contains exactly the operations the
+// cost model counts, one statement per operation.
+func TestGenEvalShapes(t *testing.T) {
+	coeffs := Poly{1, 2, 3, 4, 5, 6} // degree 5
+	for _, s := range Schemes {
+		ev, err := NewEvaluator(s, coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, result := ev.GenEval("x", "t")
+		cost := SchemeCost(s, 5, DefaultLatency)
+		wantOps := cost.Adds + cost.Muls + cost.FMAs
+		// Dead-code elimination may drop up to two unused squarings that
+		// the cost model (which interprets the raw DAG) still counts.
+		if len(lines) > wantOps || len(lines) < wantOps-2 {
+			t.Errorf("%v: %d statements, cost model says %d ops", s, len(lines), wantOps)
+		}
+		if result == "" || !strings.HasPrefix(result, "t") {
+			t.Errorf("%v: result %q is not a temporary", s, result)
+		}
+		fmas := 0
+		for _, l := range lines {
+			if strings.Contains(l, "math.FMA") {
+				fmas++
+			}
+		}
+		if fmas != cost.FMAs {
+			t.Errorf("%v: %d FMA statements, cost model says %d", s, fmas, cost.FMAs)
+		}
+		// No dead statements survive.
+		for i, l := range lines {
+			name, _, _ := strings.Cut(l, " := ")
+			used := name == result
+			for _, later := range lines[i+1:] {
+				if strings.Contains(later, name) {
+					used = true
+					break
+				}
+			}
+			if !used {
+				t.Errorf("%v: dead statement %q", s, l)
+			}
+		}
+	}
+}
+
+func TestGoLiteralExact(t *testing.T) {
+	for _, v := range []float64{1, -0.5, math.Pi, 0x1.fffffep+127, 5e-324} {
+		lit := GoLiteral(v)
+		// Go hex literals parse back exactly via strconv.
+		if !strings.HasPrefix(lit, "0x") && !strings.HasPrefix(lit, "-0x") {
+			t.Errorf("GoLiteral(%g) = %q, not a hex literal", v, lit)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GoLiteral(Inf) should panic")
+		}
+	}()
+	GoLiteral(math.Inf(1))
+}
+
+// TestGenEvalSemantics interprets the generated statements with a tiny
+// evaluator and checks bit-identity against Evaluator.Eval — the
+// construction-level guarantee made concrete.
+func TestGenEvalSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 200; trial++ {
+		deg := 4 + rng.Intn(3)
+		coeffs := make(Poly, deg+1)
+		for i := range coeffs {
+			coeffs[i] = rng.Float64()*2 - 1
+		}
+		coeffs[deg] = 0.5 + rng.Float64()
+		for _, s := range Schemes {
+			ev, err := NewEvaluator(s, coeffs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines, result := ev.GenEval("x", "t")
+			x := rng.Float64()/32 - 1.0/64
+			got := interpretLines(t, lines, result, x)
+			want := ev.Eval(x)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v: generated code gives %x, Eval gives %x\n%s",
+					s, math.Float64bits(got), math.Float64bits(want), strings.Join(lines, "\n"))
+			}
+		}
+	}
+}
+
+// interpretLines executes "name := expr" statements where expr is one of
+// "a + b", "a * b", or "math.FMA(a, b, c)" over float64 temporaries.
+func interpretLines(t *testing.T, lines []string, result string, x float64) float64 {
+	t.Helper()
+	env := map[string]float64{"x": x}
+	operand := func(tok string) float64 {
+		if v, ok := env[tok]; ok {
+			return v
+		}
+		var f float64
+		if _, err := fmtSscan(tok, &f); err != nil {
+			t.Fatalf("bad operand %q: %v", tok, err)
+		}
+		return f
+	}
+	for _, l := range lines {
+		parts := strings.SplitN(l, " := ", 2)
+		if len(parts) != 2 {
+			t.Fatalf("bad statement %q", l)
+		}
+		name, expr := parts[0], parts[1]
+		switch {
+		case strings.HasPrefix(expr, "math.FMA("):
+			args := strings.Split(strings.TrimSuffix(strings.TrimPrefix(expr, "math.FMA("), ")"), ", ")
+			if len(args) != 3 {
+				t.Fatalf("bad FMA %q", expr)
+			}
+			env[name] = math.FMA(operand(args[0]), operand(args[1]), operand(args[2]))
+		case strings.Contains(expr, " + "):
+			ab := strings.SplitN(expr, " + ", 2)
+			env[name] = operand(ab[0]) + operand(ab[1])
+		case strings.Contains(expr, " * "):
+			ab := strings.SplitN(expr, " * ", 2)
+			env[name] = operand(ab[0]) * operand(ab[1])
+		default:
+			t.Fatalf("unrecognized expression %q", expr)
+		}
+	}
+	return env[result]
+}
+
+// fmtSscan parses a Go hex float literal.
+func fmtSscan(tok string, f *float64) (int, error) {
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, err
+	}
+	*f = v
+	return 1, nil
+}

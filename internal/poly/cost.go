@@ -1,0 +1,96 @@
+package poly
+
+// Cost summarizes the static operation profile of an evaluation scheme at a
+// given degree: operation counts and the critical-path latency under a
+// simple superscalar model with unlimited issue width. The critical path is
+// what Estrin's method shortens relative to Horner's serial chain — the
+// instruction-level-parallelism argument of Section 4.
+type Cost struct {
+	Adds, Muls, FMAs int
+	// CriticalPath is the longest dependence chain in cycles under the
+	// Latency model.
+	CriticalPath int
+}
+
+// Latency models per-operation latencies in cycles. The defaults match
+// recent x86-64 cores where add, mul and fma all complete in 4 cycles.
+type Latency struct {
+	Add, Mul, FMA int
+}
+
+// DefaultLatency is a Skylake-like latency model.
+var DefaultLatency = Latency{Add: 4, Mul: 4, FMA: 4}
+
+// timed carries the cycle at which a value becomes available.
+type timed struct{ ready int }
+
+// costOps interprets scheme arithmetic as op counting plus dataflow timing.
+type costCounter struct {
+	lat  Latency
+	cost Cost
+}
+
+func (cc *costCounter) ops() Ops[timed] {
+	return Ops[timed]{
+		FromFloat: func(float64) timed { return timed{0} },
+		Add: func(a, b timed) timed {
+			cc.cost.Adds++
+			return timed{maxInt(a.ready, b.ready) + cc.lat.Add}
+		},
+		Mul: func(a, b timed) timed {
+			cc.cost.Muls++
+			return timed{maxInt(a.ready, b.ready) + cc.lat.Mul}
+		},
+		FMA: func(a, b, c timed) timed {
+			cc.cost.FMAs++
+			return timed{maxInt(maxInt(a.ready, b.ready), c.ready) + cc.lat.FMA}
+		},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SchemeCost computes the static cost of evaluating a polynomial of the
+// given degree under the scheme and latency model. For the Knuth scheme the
+// canonical adapted forms of degrees 4-6 are measured; other degrees fall
+// back to Horner, as in NewEvaluator.
+func SchemeCost(s Scheme, degree int, lat Latency) Cost {
+	cc := &costCounter{lat: lat}
+	ops := cc.ops()
+	coeffs := make([]float64, degree+1)
+	for i := range coeffs {
+		coeffs[i] = 1 // values are irrelevant to the dataflow shape
+	}
+	x := timed{0}
+	var result timed
+	switch s {
+	case Horner:
+		result = HornerG(ops, coeffs, x, false)
+	case HornerFMA:
+		result = HornerG(ops, coeffs, x, true)
+	case Estrin:
+		result = EstrinG(ops, coeffs, x, false)
+	case EstrinFMA:
+		result = EstrinG(ops, coeffs, x, true)
+	case Knuth:
+		switch degree {
+		case 4:
+			result = Adapted4G(ops, &[5]float64{}, x)
+		case 5:
+			result = Adapted5G(ops, &[6]float64{}, x)
+		case 6:
+			result = Adapted6G(ops, &[7]float64{}, x)
+		default:
+			result = HornerG(ops, coeffs, x, false)
+		}
+	default:
+		panic("poly: unknown scheme")
+	}
+	cc.cost.CriticalPath = result.ready
+	return cc.cost
+}

@@ -1,0 +1,125 @@
+package poly
+
+import "math"
+
+// EvalEstrin evaluates the polynomial with Estrin's method (Algorithm 1 of
+// the paper) without fused operations: each pairing u[2i] + u[2i+1]*x is a
+// multiplication followed by an addition, and the pairings within a level
+// are independent, exposing instruction-level parallelism.
+func EvalEstrin(c []float64, x float64) float64 {
+	switch len(c) {
+	case 0:
+		return 0
+	case 1:
+		return c[0]
+	case 2:
+		return c[0] + c[1]*x
+	case 3:
+		return (c[0] + c[1]*x) + c[2]*(x*x)
+	case 4:
+		x2 := x * x
+		return (c[0] + c[1]*x) + (c[2]+c[3]*x)*x2
+	case 5:
+		x2 := x * x
+		x4 := x2 * x2
+		return ((c[0] + c[1]*x) + (c[2]+c[3]*x)*x2) + c[4]*x4
+	case 6:
+		x2 := x * x
+		x4 := x2 * x2
+		return ((c[0] + c[1]*x) + (c[2]+c[3]*x)*x2) + (c[4]+c[5]*x)*x4
+	case 7:
+		x2 := x * x
+		x4 := x2 * x2
+		lo := (c[0] + c[1]*x) + (c[2]+c[3]*x)*x2
+		hi := (c[4] + c[5]*x) + c[6]*x2
+		return lo + hi*x4
+	case 8:
+		x2 := x * x
+		x4 := x2 * x2
+		lo := (c[0] + c[1]*x) + (c[2]+c[3]*x)*x2
+		hi := (c[4] + c[5]*x) + (c[6]+c[7]*x)*x2
+		return lo + hi*x4
+	case 9:
+		x2 := x * x
+		x4 := x2 * x2
+		x8 := x4 * x4
+		lo := (c[0] + c[1]*x) + (c[2]+c[3]*x)*x2
+		hi := (c[4] + c[5]*x) + (c[6]+c[7]*x)*x2
+		return (lo + hi*x4) + c[8]*x8
+	default:
+		return evalEstrinGeneric(c, x, false)
+	}
+}
+
+// EvalEstrinFMA evaluates with Estrin's method where every pairing
+// A + B*x is a single fused multiply-add (one rounding), as in Section 4 of
+// the paper.
+func EvalEstrinFMA(c []float64, x float64) float64 {
+	switch len(c) {
+	case 0:
+		return 0
+	case 1:
+		return c[0]
+	case 2:
+		return math.FMA(c[1], x, c[0])
+	case 3:
+		return math.FMA(c[2], x*x, math.FMA(c[1], x, c[0]))
+	case 4:
+		x2 := x * x
+		return math.FMA(math.FMA(c[3], x, c[2]), x2, math.FMA(c[1], x, c[0]))
+	case 5:
+		x2 := x * x
+		x4 := x2 * x2
+		v := math.FMA(math.FMA(c[3], x, c[2]), x2, math.FMA(c[1], x, c[0]))
+		return math.FMA(c[4], x4, v)
+	case 6:
+		x2 := x * x
+		x4 := x2 * x2
+		v := math.FMA(math.FMA(c[3], x, c[2]), x2, math.FMA(c[1], x, c[0]))
+		return math.FMA(math.FMA(c[5], x, c[4]), x4, v)
+	case 7:
+		x2 := x * x
+		x4 := x2 * x2
+		lo := math.FMA(math.FMA(c[3], x, c[2]), x2, math.FMA(c[1], x, c[0]))
+		hi := math.FMA(c[6], x2, math.FMA(c[5], x, c[4]))
+		return math.FMA(hi, x4, lo)
+	case 8:
+		x2 := x * x
+		x4 := x2 * x2
+		lo := math.FMA(math.FMA(c[3], x, c[2]), x2, math.FMA(c[1], x, c[0]))
+		hi := math.FMA(math.FMA(c[7], x, c[6]), x2, math.FMA(c[5], x, c[4]))
+		return math.FMA(hi, x4, lo)
+	case 9:
+		x2 := x * x
+		x4 := x2 * x2
+		x8 := x4 * x4
+		lo := math.FMA(math.FMA(c[3], x, c[2]), x2, math.FMA(c[1], x, c[0]))
+		hi := math.FMA(math.FMA(c[7], x, c[6]), x2, math.FMA(c[5], x, c[4]))
+		return math.FMA(c[8], x8, math.FMA(hi, x4, lo))
+	default:
+		return evalEstrinGeneric(c, x, true)
+	}
+}
+
+// evalEstrinGeneric is the direct transcription of Algorithm 1 for arbitrary
+// degree: pair adjacent coefficients, square the variable, recurse.
+func evalEstrinGeneric(c []float64, x float64, fma bool) float64 {
+	v := append([]float64(nil), c...)
+	for len(v) > 1 {
+		n := len(v)
+		w := v[:(n+1)/2]
+		for i := 0; i+1 < n; i += 2 {
+			if fma {
+				w[i/2] = math.FMA(v[i+1], x, v[i])
+			} else {
+				w[i/2] = v[i] + v[i+1]*x
+			}
+		}
+		if n%2 == 1 {
+			w[(n-1)/2] = v[n-1]
+		}
+		v = w
+		x = x * x
+	}
+	return v[0]
+}

@@ -1,0 +1,50 @@
+package poly_test
+
+import (
+	"fmt"
+
+	"rlibm/internal/poly"
+)
+
+// The paper's running example: u(x) = -6 + 6x + 42x^2 + 18x^3 + 2x^4
+// adapts to y = (x+4)x - 1, u = ((y + x + 3)y - 1)*2 (Section 1 / 3.1).
+func ExampleAdapt4() {
+	alphas, err := poly.Adapt4([5]float64{-6, 6, 42, 18, 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("y = (x + %g)x + %g\n", alphas[0], alphas[1])
+	fmt.Printf("u = ((y + x + %g)y + %g) * %g\n", alphas[2], alphas[3], alphas[4])
+	fmt.Println("u(2) =", poly.EvalAdapted4(&alphas, 2))
+	// Output:
+	// y = (x + 4)x + -1
+	// u = ((y + x + 3)y + -1) * 2
+	// u(2) = 350
+}
+
+// Estrin's method exposes instruction-level parallelism; the cost model
+// reports the shorter dependence chain (Section 4).
+func ExampleSchemeCost() {
+	h := poly.SchemeCost(poly.Horner, 5, poly.DefaultLatency)
+	e := poly.SchemeCost(poly.EstrinFMA, 5, poly.DefaultLatency)
+	fmt.Printf("horner: %d cycles, estrin+fma: %d cycles\n", h.CriticalPath, e.CriticalPath)
+	// Output:
+	// horner: 40 cycles, estrin+fma: 12 cycles
+}
+
+// The code generator emits the same operation DAG the evaluators execute.
+func ExampleEvaluator_GenEvalFunc() {
+	ev, err := poly.NewEvaluator(poly.EstrinFMA, poly.Poly{1, 1, 0.5, 0.125})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(ev.GenEvalFunc("evalCubic"))
+	// Output:
+	// func evalCubic(x float64) float64 {
+	// 	t0 := math.FMA(0x1p+00, x, 0x1p+00)
+	// 	t1 := math.FMA(0x1p-03, x, 0x1p-01)
+	// 	t2 := x * x
+	// 	t3 := math.FMA(t1, t2, t0)
+	// 	return t3
+	// }
+}

@@ -1,0 +1,125 @@
+package poly
+
+import (
+	"math"
+	"math/big"
+)
+
+// Ops is an interpretation of the arithmetic used by the evaluation schemes.
+// Instantiating the scheme interpreters over different Ops yields the
+// float64 semantics (with real roundings), the exact rational semantics
+// (where all schemes are algebraically equal), and the cost/latency
+// semantics used to compare instruction-level parallelism.
+type Ops[T any] struct {
+	FromFloat func(float64) T
+	Add       func(a, b T) T
+	Mul       func(a, b T) T
+	// FMA computes a*b + c in a single operation.
+	FMA func(a, b, c T) T
+}
+
+// RatOps is the exact rational interpretation: FMA and Mul+Add coincide.
+func RatOps() Ops[*big.Rat] {
+	return Ops[*big.Rat]{
+		FromFloat: func(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) },
+		Add:       func(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) },
+		Mul:       func(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) },
+		FMA: func(a, b, c *big.Rat) *big.Rat {
+			r := new(big.Rat).Mul(a, b)
+			return r.Add(r, c)
+		},
+	}
+}
+
+// Float64Ops is the hardware interpretation: IEEE double arithmetic with
+// math.FMA (a single rounding, compiled to the fused instruction on amd64).
+// The specialized evaluators in this package are bit-identical to the
+// generic interpreters under this Ops — a property the tests enforce.
+func Float64Ops() Ops[float64] {
+	return Ops[float64]{
+		FromFloat: func(f float64) float64 { return f },
+		Add:       func(a, b float64) float64 { return a + b },
+		Mul:       func(a, b float64) float64 { return a * b },
+		FMA:       math.FMA,
+	}
+}
+
+// HornerG interprets Horner's method over ops.
+func HornerG[T any](ops Ops[T], c []float64, x T, fma bool) T {
+	if len(c) == 0 {
+		return ops.FromFloat(0)
+	}
+	r := ops.FromFloat(c[len(c)-1])
+	for i := len(c) - 2; i >= 0; i-- {
+		if fma {
+			r = ops.FMA(r, x, ops.FromFloat(c[i]))
+		} else {
+			r = ops.Add(ops.Mul(r, x), ops.FromFloat(c[i]))
+		}
+	}
+	return r
+}
+
+// EstrinG interprets Estrin's method (Algorithm 1) over ops.
+func EstrinG[T any](ops Ops[T], c []float64, x T, fma bool) T {
+	if len(c) == 0 {
+		return ops.FromFloat(0)
+	}
+	v := make([]T, len(c))
+	for i, ci := range c {
+		v[i] = ops.FromFloat(ci)
+	}
+	for len(v) > 1 {
+		n := len(v)
+		w := make([]T, (n+1)/2)
+		for i := 0; i+1 < n; i += 2 {
+			if fma {
+				w[i/2] = ops.FMA(v[i+1], x, v[i])
+			} else {
+				w[i/2] = ops.Add(v[i], ops.Mul(v[i+1], x))
+			}
+		}
+		if n%2 == 1 {
+			w[(n-1)/2] = v[n-1]
+		}
+		v = w
+		x = ops.Mul(x, x)
+	}
+	return v[0]
+}
+
+// Adapted4G interprets the degree-4 adapted form (equation 3) over ops:
+//
+//	y = (x + a0)*x + a1
+//	u = ((y + x + a2)*y + a3) * a4
+func Adapted4G[T any](ops Ops[T], a *[5]float64, x T) T {
+	a0, a1, a2, a3, a4 := ops.FromFloat(a[0]), ops.FromFloat(a[1]), ops.FromFloat(a[2]), ops.FromFloat(a[3]), ops.FromFloat(a[4])
+	y := ops.Add(ops.Mul(ops.Add(x, a0), x), a1)
+	t := ops.Add(ops.Add(y, x), a2)
+	return ops.Mul(ops.Add(ops.Mul(t, y), a3), a4)
+}
+
+// Adapted5G interprets the degree-5 adapted form (equation 5) over ops:
+//
+//	y = (x + a0)^2
+//	u = (((y + a1)*y + a2)*(x + a3) + a4) * a5
+func Adapted5G[T any](ops Ops[T], a *[6]float64, x T) T {
+	a0, a1, a2, a3, a4, a5 := ops.FromFloat(a[0]), ops.FromFloat(a[1]), ops.FromFloat(a[2]), ops.FromFloat(a[3]), ops.FromFloat(a[4]), ops.FromFloat(a[5])
+	s := ops.Add(x, a0)
+	y := ops.Mul(s, s)
+	inner := ops.Add(ops.Mul(ops.Add(y, a1), y), a2)
+	return ops.Mul(ops.Add(ops.Mul(inner, ops.Add(x, a3)), a4), a5)
+}
+
+// Adapted6G interprets the degree-6 adapted form (equation 8) over ops:
+//
+//	z = (x + a0)*x + a1
+//	w = (x + a2)*z + a3
+//	u = ((w + z + a4)*w + a5) * a6
+func Adapted6G[T any](ops Ops[T], a *[7]float64, x T) T {
+	a0, a1, a2, a3, a4, a5, a6 := ops.FromFloat(a[0]), ops.FromFloat(a[1]), ops.FromFloat(a[2]), ops.FromFloat(a[3]), ops.FromFloat(a[4]), ops.FromFloat(a[5]), ops.FromFloat(a[6])
+	z := ops.Add(ops.Mul(ops.Add(x, a0), x), a1)
+	w := ops.Add(ops.Mul(ops.Add(x, a2), z), a3)
+	t := ops.Add(ops.Add(w, z), a4)
+	return ops.Mul(ops.Add(ops.Mul(t, w), a5), a6)
+}

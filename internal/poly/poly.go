@@ -1,0 +1,215 @@
+// Package poly implements polynomial representations and the fast evaluation
+// schemes studied in the CGO 2023 paper: Horner's method, Knuth's coefficient
+// adaptation (degrees 4-6), Estrin's parallel method, and Estrin with fused
+// multiply-add operations.
+//
+// Every scheme exists in three interpretations sharing one operation DAG:
+//
+//   - a specialized float64 evaluator (the exact instruction sequence the
+//     generated libm executes, math.FMA included),
+//   - an exact *big.Rat evaluator (schemes are algebraically identical in
+//     exact arithmetic — a property the tests verify), and
+//   - a cost interpretation that counts operations and measures the critical
+//     path under a latency model (the instruction-level-parallelism argument
+//     of Section 4).
+package poly
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+)
+
+// Poly is a dense polynomial with float64 coefficients in ascending order:
+// Poly{c0, c1, c2} represents c0 + c1*x + c2*x^2.
+type Poly []float64
+
+// Degree returns the degree of the polynomial (the index of the last
+// coefficient); the zero polynomial has degree 0.
+func (p Poly) Degree() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Trim removes trailing zero coefficients.
+func (p Poly) Trim() Poly {
+	n := len(p)
+	for n > 1 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Clone returns a copy of the polynomial.
+func (p Poly) Clone() Poly {
+	return append(Poly(nil), p...)
+}
+
+func (p Poly) String() string {
+	if len(p) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, c := range p {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%.17g*x^%d", c, i)
+	}
+	return b.String()
+}
+
+// EvalExact evaluates the polynomial at the rational point x in exact
+// arithmetic. The float64 coefficients are interpreted exactly.
+func (p Poly) EvalExact(x *big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	term := new(big.Rat).SetInt64(1)
+	tmp := new(big.Rat)
+	for _, c := range p {
+		tmp.SetFloat64(c)
+		tmp.Mul(tmp, term)
+		sum.Add(sum, tmp)
+		term.Mul(term, x)
+	}
+	return sum
+}
+
+// RatPoly is a dense polynomial with exact rational coefficients, used by the
+// LP layer and by the symbolic-identity tests.
+type RatPoly []*big.Rat
+
+// NewRatPoly returns a zero polynomial with n coefficients.
+func NewRatPoly(n int) RatPoly {
+	p := make(RatPoly, n)
+	for i := range p {
+		p[i] = new(big.Rat)
+	}
+	return p
+}
+
+// RatPolyFromFloats converts float64 coefficients exactly.
+func RatPolyFromFloats(c []float64) RatPoly {
+	p := make(RatPoly, len(c))
+	for i, v := range c {
+		p[i] = new(big.Rat).SetFloat64(v)
+	}
+	return p
+}
+
+// Float64s rounds the rational coefficients to the nearest float64 — the
+// non-linear step the paper's generate–check–constrain loop absorbs.
+func (p RatPoly) Float64s() Poly {
+	out := make(Poly, len(p))
+	for i, c := range p {
+		out[i], _ = c.Float64()
+	}
+	return out
+}
+
+// Eval evaluates the rational polynomial exactly at x.
+func (p RatPoly) Eval(x *big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	tmp := new(big.Rat)
+	for i := len(p) - 1; i >= 0; i-- {
+		sum.Mul(sum, x)
+		tmp.Set(p[i])
+		sum.Add(sum, tmp)
+	}
+	return sum
+}
+
+// Add returns p + q.
+func (p RatPoly) Add(q RatPoly) RatPoly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := NewRatPoly(n)
+	for i := range out {
+		if i < len(p) {
+			out[i].Add(out[i], p[i])
+		}
+		if i < len(q) {
+			out[i].Add(out[i], q[i])
+		}
+	}
+	return out
+}
+
+// Mul returns p * q.
+func (p RatPoly) Mul(q RatPoly) RatPoly {
+	if len(p) == 0 || len(q) == 0 {
+		return RatPoly{}
+	}
+	out := NewRatPoly(len(p) + len(q) - 1)
+	tmp := new(big.Rat)
+	for i, a := range p {
+		for j, b := range q {
+			tmp.Mul(a, b)
+			out[i+j].Add(out[i+j], tmp)
+		}
+	}
+	return out
+}
+
+// Scale returns p multiplied by the scalar s.
+func (p RatPoly) Scale(s *big.Rat) RatPoly {
+	out := NewRatPoly(len(p))
+	for i, c := range p {
+		out[i].Mul(c, s)
+	}
+	return out
+}
+
+// Equal reports exact coefficient-wise equality (up to trailing zeros).
+func (p RatPoly) Equal(q RatPoly) bool {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	zero := new(big.Rat)
+	for i := 0; i < n; i++ {
+		a, b := zero, zero
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		if a.Cmp(b) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalHorner evaluates the polynomial with Horner's method in float64: a
+// serial chain of one multiplication and one addition per degree, each
+// rounding separately. This is RLibm's default evaluation.
+func EvalHorner(c []float64, x float64) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	r := c[len(c)-1]
+	for i := len(c) - 2; i >= 0; i-- {
+		r = r*x + c[i]
+	}
+	return r
+}
+
+// EvalHornerFMA evaluates with Horner's method using fused multiply-adds:
+// one rounding per degree instead of two. (An ablation scheme; the paper's
+// configurations are Horner, Knuth, Estrin and Estrin+FMA.)
+func EvalHornerFMA(c []float64, x float64) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	r := c[len(c)-1]
+	for i := len(c) - 2; i >= 0; i-- {
+		r = math.FMA(r, x, c[i])
+	}
+	return r
+}

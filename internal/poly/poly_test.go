@@ -1,0 +1,408 @@
+package poly
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randCoeffs(rng *rand.Rand, n int) Poly {
+	c := make(Poly, n)
+	for i := range c {
+		c[i] = (rng.Float64()*4 - 2) * math.Ldexp(1, rng.Intn(6)-3)
+	}
+	return c
+}
+
+func TestEvalHornerBasics(t *testing.T) {
+	p := Poly{-6, 6, 42, 18, 2} // the paper's running example
+	if got := EvalHorner(p, 0); got != -6 {
+		t.Errorf("p(0) = %g, want -6", got)
+	}
+	if got := EvalHorner(p, 1); got != 62 {
+		t.Errorf("p(1) = %g, want 62", got)
+	}
+	if got := EvalHorner(p, 2); got != 2*16+18*8+42*4+6*2-6 {
+		t.Errorf("p(2) = %g", got)
+	}
+	if got := EvalHorner(nil, 3); got != 0 {
+		t.Errorf("empty poly = %g, want 0", got)
+	}
+}
+
+// TestSchemesAgreeInExactArithmetic: in exact rational arithmetic, Horner
+// and Estrin (with or without "fused" operations) compute the same
+// polynomial value — the schemes differ only in rounding behaviour.
+func TestSchemesAgreeInExactArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ops := RatOps()
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(13)
+		c := randCoeffs(rng, n)
+		x := new(big.Rat).SetFloat64(rng.Float64()*2 - 1)
+		want := Poly(c).EvalExact(x)
+		for name, got := range map[string]*big.Rat{
+			"horner":     HornerG(ops, c, x, false),
+			"horner-fma": HornerG(ops, c, x, true),
+			"estrin":     EstrinG(ops, c, x, false),
+			"estrin-fma": EstrinG(ops, c, x, true),
+		} {
+			if got.Cmp(want) != 0 {
+				t.Fatalf("%s(deg %d) = %s, want %s", name, n-1, got.RatString(), want.RatString())
+			}
+		}
+	}
+}
+
+// TestSpecializedEstrinMatchesGeneric: the hand-specialized float64 Estrin
+// evaluators execute exactly the generic Algorithm 1 dataflow — results are
+// bit-identical.
+func TestSpecializedEstrinMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ops := Float64Ops()
+	for n := 1; n <= 14; n++ {
+		for i := 0; i < 500; i++ {
+			c := randCoeffs(rng, n)
+			x := rng.Float64()*4 - 2
+			if got, want := EvalEstrin(c, x), EstrinG(ops, c, x, false); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("EvalEstrin(len %d) = %x, generic %x", n, math.Float64bits(got), math.Float64bits(want))
+			}
+			if got, want := EvalEstrinFMA(c, x), EstrinG(ops, c, x, true); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("EvalEstrinFMA(len %d) = %x, generic %x", n, math.Float64bits(got), math.Float64bits(want))
+			}
+			if got, want := EvalHorner(c, x), HornerG(ops, c, x, false); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("EvalHorner(len %d) = %x, generic %x", n, math.Float64bits(got), math.Float64bits(want))
+			}
+			if got, want := EvalHornerFMA(c, x), HornerG(ops, c, x, true); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("EvalHornerFMA(len %d) = %x, generic %x", n, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestAdapt4PaperExample: the worked example from the paper's introduction:
+// u(x) = -6 + 6x + 42x^2 + 18x^3 + 2x^4 adapts to
+// y = (x+4)x - 1, u(x) = ((y + x + 3)y - 1)*2.
+func TestAdapt4PaperExample(t *testing.T) {
+	a, err := Adapt4([5]float64{-6, 6, 42, 18, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [5]float64{4, -1, 3, -1, 2}
+	if a != want {
+		t.Fatalf("Adapt4 = %v, want %v", a, want)
+	}
+	// With integer adapted coefficients the evaluation is exact: the
+	// adapted form and Horner agree bit-for-bit at integer points.
+	for x := -8.0; x <= 8; x++ {
+		if got, want := EvalAdapted4(&a, x), EvalHorner(Poly{-6, 6, 42, 18, 2}, x); got != want {
+			t.Fatalf("adapted(%g) = %g, horner = %g", x, got, want)
+		}
+	}
+}
+
+func TestAdaptRejectsDegenerate(t *testing.T) {
+	if _, err := Adapt4([5]float64{1, 2, 3, 4, 0}); err == nil {
+		t.Error("Adapt4 with zero leading coefficient should fail")
+	}
+	if _, err := Adapt5([6]float64{1, 2, 3, 4, 5, 0}); err == nil {
+		t.Error("Adapt5 with zero leading coefficient should fail")
+	}
+	if _, err := Adapt6([7]float64{1, 2, 3, 4, 5, 6, 0}); err == nil {
+		t.Error("Adapt6 with zero leading coefficient should fail")
+	}
+	if _, err := Adapt4([5]float64{1, 2, 3, math.NaN(), 1}); err == nil {
+		t.Error("Adapt4 with NaN coefficient should fail")
+	}
+}
+
+// expandAdapted expands an adapted form symbolically (alphas taken exactly
+// as their float64 values) and returns the dense polynomial it represents.
+func expandAdapted(t *testing.T, deg int, alphas []float64) RatPoly {
+	t.Helper()
+	r := func(f float64) RatPoly { return RatPoly{new(big.Rat).SetFloat64(f)} }
+	xp := RatPoly{new(big.Rat), new(big.Rat).SetInt64(1)} // x
+	switch deg {
+	case 4:
+		y := xp.Add(r(alphas[0])).Mul(xp).Add(r(alphas[1]))
+		t1 := y.Add(xp).Add(r(alphas[2]))
+		return t1.Mul(y).Add(r(alphas[3])).Scale(new(big.Rat).SetFloat64(alphas[4]))
+	case 5:
+		s := xp.Add(r(alphas[0]))
+		y := s.Mul(s)
+		inner := y.Add(r(alphas[1])).Mul(y).Add(r(alphas[2]))
+		return inner.Mul(xp.Add(r(alphas[3]))).Add(r(alphas[4])).Scale(new(big.Rat).SetFloat64(alphas[5]))
+	case 6:
+		z := xp.Add(r(alphas[0])).Mul(xp).Add(r(alphas[1]))
+		w := xp.Add(r(alphas[2])).Mul(z).Add(r(alphas[3]))
+		tt := w.Add(z).Add(r(alphas[4]))
+		return tt.Mul(w).Add(r(alphas[5])).Scale(new(big.Rat).SetFloat64(alphas[6]))
+	}
+	t.Fatalf("bad degree %d", deg)
+	return nil
+}
+
+// TestAdaptationExpansionIdentity: for random well-scaled polynomials, the
+// symbolic expansion of the adapted form reproduces the original
+// coefficients up to the double-precision error of the adaptation itself
+// (exactly the non-linearity Section 5 integrates into the RLibm loop).
+func TestAdaptationExpansionIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for deg := 4; deg <= 6; deg++ {
+		for trial := 0; trial < 400; trial++ {
+			u := make(Poly, deg+1)
+			for i := range u {
+				u[i] = rng.Float64()*4 - 2
+			}
+			u[deg] = 0.5 + rng.Float64() // well away from zero
+			var alphas []float64
+			var err error
+			switch deg {
+			case 4:
+				var in [5]float64
+				copy(in[:], u)
+				var a [5]float64
+				a, err = Adapt4(in)
+				alphas = a[:]
+			case 5:
+				var in [6]float64
+				copy(in[:], u)
+				var a [6]float64
+				a, err = Adapt5(in)
+				alphas = a[:]
+			case 6:
+				var in [7]float64
+				copy(in[:], u)
+				var a [7]float64
+				a, err = Adapt6(in)
+				alphas = a[:]
+			}
+			if err != nil {
+				t.Fatalf("deg %d adapt: %v", deg, err)
+			}
+			exp := expandAdapted(t, deg, alphas)
+			if len(exp) != deg+1 {
+				t.Fatalf("deg %d expansion has %d coefficients", deg, len(exp))
+			}
+			// Scale for the comparison: adapted coefficients can exceed the
+			// original ones.
+			scale := 1.0
+			for _, a := range alphas {
+				if m := math.Abs(a); m > scale {
+					scale = m
+				}
+			}
+			scale = scale * scale * scale // products of up to ~3 alphas appear
+			for i := 0; i <= deg; i++ {
+				got, _ := exp[i].Float64()
+				if math.Abs(got-u[i]) > 1e-9*scale {
+					t.Fatalf("deg %d trial %d: coefficient %d: expanded %.17g vs original %.17g (alphas %v)",
+						deg, trial, i, got, u[i], alphas)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptedEvalCloseToPolynomial: evaluating the adapted form in float64
+// stays close to the true polynomial value on [-1, 1].
+func TestAdaptedEvalCloseToPolynomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 300; trial++ {
+		deg := 4 + rng.Intn(3)
+		u := make(Poly, deg+1)
+		for i := range u {
+			u[i] = rng.Float64()*2 - 1
+		}
+		u[deg] = 0.5 + rng.Float64()
+		ev, err := NewEvaluator(Knuth, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 50; k++ {
+			x := rng.Float64()*2 - 1
+			got := ev.Eval(x)
+			want, _ := u.EvalExact(new(big.Rat).SetFloat64(x)).Float64()
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("deg %d: adapted(%g) = %.17g, poly = %.17g", deg, x, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorSchemes: Eval matches the corresponding free function, and
+// EvalExact matches the float64 result closely.
+func TestEvaluatorSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	c := randCoeffs(rng, 6)
+	for _, s := range Schemes {
+		ev, err := NewEvaluator(s, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := 0.375
+		got := ev.Eval(x)
+		var want float64
+		switch s {
+		case Horner:
+			want = EvalHorner(c, x)
+		case HornerFMA:
+			want = EvalHornerFMA(c, x)
+		case Estrin:
+			want = EvalEstrin(c, x)
+		case EstrinFMA:
+			want = EvalEstrinFMA(c, x)
+		case Knuth:
+			want = got // checked via EvalExact below
+		}
+		if got != want {
+			t.Errorf("%v: Eval = %g, free function = %g", s, got, want)
+		}
+		exact, _ := ev.EvalExact(new(big.Rat).SetFloat64(x)).Float64()
+		if math.Abs(exact-got) > 1e-12 {
+			t.Errorf("%v: EvalExact = %g vs Eval = %g", s, exact, got)
+		}
+	}
+}
+
+// TestKnuthFallbackLowDegree: degrees below 4 use Horner (adaptation does
+// not apply).
+func TestKnuthFallbackLowDegree(t *testing.T) {
+	c := Poly{1, 2, 3}
+	ev, err := NewEvaluator(Knuth, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.AdaptedCoeffs() != nil {
+		t.Error("degree-2 polynomial should not be adapted")
+	}
+	if got, want := ev.Eval(0.5), EvalHorner(c, 0.5); got != want {
+		t.Errorf("fallback eval = %g, want %g", got, want)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, s := range Schemes {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme(bogus) should fail")
+	}
+}
+
+// TestSchemeCosts checks the paper's operation-count claims and the
+// critical-path ordering Horner > Estrin > Estrin+FMA.
+func TestSchemeCosts(t *testing.T) {
+	lat := DefaultLatency
+
+	h5 := SchemeCost(Horner, 5, lat)
+	if h5.Adds != 5 || h5.Muls != 5 || h5.FMAs != 0 {
+		t.Errorf("Horner deg5 cost = %+v, want 5 adds, 5 muls", h5)
+	}
+	if h5.CriticalPath != 5*(lat.Add+lat.Mul) {
+		t.Errorf("Horner deg5 critical path = %d, want %d", h5.CriticalPath, 5*(lat.Add+lat.Mul))
+	}
+
+	hf5 := SchemeCost(HornerFMA, 5, lat)
+	if hf5.FMAs != 5 || hf5.CriticalPath != 5*lat.FMA {
+		t.Errorf("HornerFMA deg5 cost = %+v", hf5)
+	}
+
+	// Knuth degree 4: 3 multiplications, 5 additions (Section 3.1).
+	k4 := SchemeCost(Knuth, 4, lat)
+	if k4.Muls != 3 || k4.Adds != 5 {
+		t.Errorf("Knuth deg4 cost = %+v, want 3 muls, 5 adds", k4)
+	}
+	// Knuth degree 5: 4 multiplications, 5 additions (Section 3.2).
+	k5 := SchemeCost(Knuth, 5, lat)
+	if k5.Muls != 4 || k5.Adds != 5 {
+		t.Errorf("Knuth deg5 cost = %+v, want 4 muls, 5 adds", k5)
+	}
+	// Knuth degree 6: 4 multiplications, 7 additions (Section 3.3).
+	k6 := SchemeCost(Knuth, 6, lat)
+	if k6.Muls != 4 || k6.Adds != 7 {
+		t.Errorf("Knuth deg6 cost = %+v, want 4 muls, 7 adds", k6)
+	}
+
+	for deg := 4; deg <= 8; deg++ {
+		h := SchemeCost(Horner, deg, lat)
+		e := SchemeCost(Estrin, deg, lat)
+		ef := SchemeCost(EstrinFMA, deg, lat)
+		if !(e.CriticalPath < h.CriticalPath) {
+			t.Errorf("deg %d: Estrin critical path %d not shorter than Horner %d", deg, e.CriticalPath, h.CriticalPath)
+		}
+		if !(ef.CriticalPath < e.CriticalPath) {
+			t.Errorf("deg %d: Estrin+FMA critical path %d not shorter than Estrin %d", deg, ef.CriticalPath, e.CriticalPath)
+		}
+	}
+}
+
+// TestRatPolyAlgebra sanity-checks the exact polynomial algebra used by the
+// expansion tests and the LP layer.
+func TestRatPolyAlgebra(t *testing.T) {
+	one := new(big.Rat).SetInt64(1)
+	two := new(big.Rat).SetInt64(2)
+	// (1 + x)(1 + x) = 1 + 2x + x^2
+	p := RatPoly{one, one}
+	sq := p.Mul(p)
+	want := RatPoly{one, two, one}
+	if !sq.Equal(want) {
+		t.Errorf("(1+x)^2 = %v", sq)
+	}
+	if !sq.Add(NewRatPoly(5)).Equal(want) {
+		t.Error("adding zero changed the polynomial")
+	}
+	x := new(big.Rat).SetInt64(3)
+	if got := sq.Eval(x); got.Cmp(new(big.Rat).SetInt64(16)) != 0 {
+		t.Errorf("(1+3)^2 = %s", got.RatString())
+	}
+	f := sq.Float64s()
+	if f[0] != 1 || f[1] != 2 || f[2] != 1 {
+		t.Errorf("Float64s = %v", f)
+	}
+}
+
+// TestHornerQuickExactMatch: Horner in float64 differs from the exact value
+// by at most a small relative bound for well-scaled inputs.
+func TestHornerQuickExactMatch(t *testing.T) {
+	prop := func(c0, c1, c2, c3 int16, xi int16) bool {
+		c := Poly{float64(c0) / 256, float64(c1) / 256, float64(c2) / 256, float64(c3) / 256}
+		x := float64(xi) / 32768
+		got := EvalHorner(c, x)
+		want, _ := c.EvalExact(new(big.Rat).SetFloat64(x)).Float64()
+		return math.Abs(got-want) <= 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyUtil(t *testing.T) {
+	p := Poly{1, 2, 0, 0}
+	if got := p.Trim(); len(got) != 2 {
+		t.Errorf("Trim = %v", got)
+	}
+	if got := (Poly{0, 0}).Trim(); len(got) != 1 {
+		t.Errorf("Trim all-zero = %v", got)
+	}
+	q := Poly{1, 2, 3}
+	if Poly(nil).Degree() != 0 || q.Degree() != 2 {
+		t.Error("Degree broken")
+	}
+	cl := p.Clone()
+	cl[0] = 99
+	if p[0] == 99 {
+		t.Error("Clone aliases")
+	}
+	if s := (Poly{1, -2}).String(); s == "" {
+		t.Error("empty String")
+	}
+	if s := Poly(nil).String(); s != "0" {
+		t.Errorf("nil String = %q", s)
+	}
+}

@@ -1,0 +1,183 @@
+package poly
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Scheme identifies a polynomial evaluation strategy. The four schemes the
+// paper evaluates are Horner (RLibm's default), Knuth (coefficient
+// adaptation), Estrin, and EstrinFMA; HornerFMA is included as an ablation.
+type Scheme uint8
+
+const (
+	// Horner is the serial multiply-then-add chain (RLibm's default).
+	Horner Scheme = iota
+	// Knuth uses Knuth's adapted coefficients for degrees 4-6 and falls
+	// back to Horner below degree 4 (adaptation does not apply there).
+	Knuth
+	// Estrin pairs subterms for instruction-level parallelism, without
+	// fused operations.
+	Estrin
+	// EstrinFMA pairs subterms with fused multiply-adds.
+	EstrinFMA
+	// HornerFMA is Horner's recurrence with fused multiply-adds.
+	HornerFMA
+)
+
+// Schemes lists every scheme in display order.
+var Schemes = []Scheme{Horner, Knuth, Estrin, EstrinFMA, HornerFMA}
+
+// PaperSchemes lists the four configurations evaluated by the paper.
+var PaperSchemes = []Scheme{Horner, Knuth, Estrin, EstrinFMA}
+
+func (s Scheme) String() string {
+	switch s {
+	case Horner:
+		return "horner"
+	case Knuth:
+		return "knuth"
+	case Estrin:
+		return "estrin"
+	case EstrinFMA:
+		return "estrin-fma"
+	case HornerFMA:
+		return "horner-fma"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme converts a string (as used by CLI flags) to a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	for _, sc := range Schemes {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("poly: unknown scheme %q", s)
+}
+
+// Evaluator binds a polynomial to an evaluation scheme. For the Knuth scheme
+// the adaptation is performed once at construction; Eval then runs exactly
+// the instruction sequence the generated library would execute, so the
+// generator's validation sees the true rounding behaviour.
+type Evaluator struct {
+	Scheme Scheme
+	Coeffs Poly // original coefficients, ascending
+
+	// Adapted coefficients, populated for Scheme==Knuth with degree >= 4.
+	adapted4 *[5]float64
+	adapted5 *[6]float64
+	adapted6 *[7]float64
+}
+
+// NewEvaluator constructs an evaluator for the polynomial under the scheme.
+// It fails if Knuth adaptation is requested for an unadaptable polynomial of
+// degree 4-6 (degenerate leading coefficient); degrees outside 4-6 fall back
+// to Horner, mirroring the paper's prototype which adapts only what RLibm
+// generates (degree <= 6) and leaves low degrees alone.
+func NewEvaluator(s Scheme, coeffs Poly) (*Evaluator, error) {
+	e := &Evaluator{Scheme: s, Coeffs: coeffs.Clone()}
+	if s != Knuth {
+		return e, nil
+	}
+	c := coeffs.Trim()
+	switch c.Degree() {
+	case 4:
+		var u [5]float64
+		copy(u[:], c)
+		a, err := Adapt4(u)
+		if err != nil {
+			return nil, err
+		}
+		e.adapted4 = &a
+	case 5:
+		var u [6]float64
+		copy(u[:], c)
+		a, err := Adapt5(u)
+		if err != nil {
+			return nil, err
+		}
+		e.adapted5 = &a
+	case 6:
+		var u [7]float64
+		copy(u[:], c)
+		a, err := Adapt6(u)
+		if err != nil {
+			return nil, err
+		}
+		e.adapted6 = &a
+	}
+	return e, nil
+}
+
+// Eval evaluates the polynomial at x in float64 under the bound scheme.
+func (e *Evaluator) Eval(x float64) float64 {
+	switch e.Scheme {
+	case Horner:
+		return EvalHorner(e.Coeffs, x)
+	case HornerFMA:
+		return EvalHornerFMA(e.Coeffs, x)
+	case Estrin:
+		return EvalEstrin(e.Coeffs, x)
+	case EstrinFMA:
+		return EvalEstrinFMA(e.Coeffs, x)
+	case Knuth:
+		switch {
+		case e.adapted4 != nil:
+			return EvalAdapted4(e.adapted4, x)
+		case e.adapted5 != nil:
+			return EvalAdapted5(e.adapted5, x)
+		case e.adapted6 != nil:
+			return EvalAdapted6(e.adapted6, x)
+		default:
+			return EvalHorner(e.Coeffs, x)
+		}
+	default:
+		panic("poly: unknown scheme")
+	}
+}
+
+// EvalExact evaluates the scheme's operation DAG in exact rational
+// arithmetic. For Horner/Estrin this equals the polynomial value; for Knuth
+// it equals the value of the *adapted* form with its float64 alpha
+// coefficients — i.e. the polynomial the implementation actually computes,
+// whose deviation from the LP solution is what the generate–check–constrain
+// loop must absorb.
+func (e *Evaluator) EvalExact(x *big.Rat) *big.Rat {
+	ops := RatOps()
+	switch e.Scheme {
+	case Horner, HornerFMA:
+		return HornerG(ops, e.Coeffs, x, false)
+	case Estrin, EstrinFMA:
+		return EstrinG(ops, e.Coeffs, x, false)
+	case Knuth:
+		switch {
+		case e.adapted4 != nil:
+			return Adapted4G(ops, e.adapted4, x)
+		case e.adapted5 != nil:
+			return Adapted5G(ops, e.adapted5, x)
+		case e.adapted6 != nil:
+			return Adapted6G(ops, e.adapted6, x)
+		default:
+			return HornerG(ops, e.Coeffs, x, false)
+		}
+	default:
+		panic("poly: unknown scheme")
+	}
+}
+
+// AdaptedCoeffs returns the Knuth-adapted coefficients, or nil when the
+// evaluator does not use adaptation.
+func (e *Evaluator) AdaptedCoeffs() []float64 {
+	switch {
+	case e.adapted4 != nil:
+		return e.adapted4[:]
+	case e.adapted5 != nil:
+		return e.adapted5[:]
+	case e.adapted6 != nil:
+		return e.adapted6[:]
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package rangered
+
+import (
+	"math"
+
+	"rlibm/internal/interval"
+)
+
+// Every output compensation in this package is monotone non-decreasing in
+// the polynomial output p (multiplication by a positive scale, or addition).
+// ReducedIntervals are therefore recovered exactly with a binary search over
+// the totally ordered doubles — the robust equivalent of the paper's
+// AdjHigher/AdjLower boundary adjustment loops (Figure CalculateL0), immune
+// to starting-point error from the approximate inverse.
+
+// ord maps a non-NaN float64 to an ordering-preserving uint64 (unsigned so
+// midpoint arithmetic in the binary searches cannot overflow).
+func ord(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 == 1 {
+		return ^b // negative values: reverse order below the positives
+	}
+	return b | 1<<63
+}
+
+// fromOrd is the inverse of ord.
+func fromOrd(k uint64) float64 {
+	if k>>63 == 1 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// lowestWith returns the smallest float64 p (over the whole finite range)
+// with f(p) >= target, assuming f is monotone non-decreasing; ok is false if
+// no such p exists.
+func lowestWith(f func(float64) float64, target float64) (float64, bool) {
+	lo, hi := ord(-math.MaxFloat64), ord(math.MaxFloat64)
+	if f(fromOrd(hi)) < target {
+		return 0, false
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if f(fromOrd(mid)) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return fromOrd(lo), true
+}
+
+// highestWith returns the largest float64 p with f(p) <= target under the
+// same monotonicity assumption.
+func highestWith(f func(float64) float64, target float64) (float64, bool) {
+	lo, hi := ord(-math.MaxFloat64), ord(math.MaxFloat64)
+	if f(fromOrd(lo)) > target {
+		return 0, false
+	}
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if f(fromOrd(mid)) <= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return fromOrd(lo), true
+}
+
+// ReducedInterval computes the exact interval of polynomial outputs p such
+// that Compensate(p, k) lands inside the rounding interval iv — the paper's
+// CalcRedIntervals step. ok is false when no double output compensates into
+// the interval; such inputs become special cases.
+func ReducedInterval(red Reduction, k Key, iv interval.Interval) (interval.Interval, bool) {
+	oc := func(p float64) float64 { return red.Compensate(p, k) }
+	if red.Decreasing != nil && red.Decreasing(k) {
+		// Mirror a non-increasing compensation into a non-decreasing one:
+		// p -> -oc(p) is monotone non-decreasing, and oc(p) in [lo, hi]
+		// iff -oc(p) in [-hi, -lo].
+		neg := func(p float64) float64 { return -oc(p) }
+		lo, ok := lowestWith(neg, -iv.Hi)
+		if !ok {
+			return interval.Interval{}, false
+		}
+		hi, ok := highestWith(neg, -iv.Lo)
+		if !ok {
+			return interval.Interval{}, false
+		}
+		if lo > hi {
+			return interval.Interval{}, false
+		}
+		return interval.Interval{Lo: lo, Hi: hi}, true
+	}
+	lo, ok := lowestWith(oc, iv.Lo)
+	if !ok {
+		return interval.Interval{}, false
+	}
+	hi, ok := highestWith(oc, iv.Hi)
+	if !ok {
+		return interval.Interval{}, false
+	}
+	if lo > hi {
+		return interval.Interval{}, false
+	}
+	// By construction oc(lo) >= iv.Lo and oc(hi) <= iv.Hi; monotonicity
+	// gives oc(p) in [iv.Lo, iv.Hi] for every p in [lo, hi].
+	return interval.Interval{Lo: lo, Hi: hi}, true
+}

@@ -1,0 +1,287 @@
+package rangered
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"rlibm/internal/interval"
+	"rlibm/internal/oracle"
+)
+
+func TestTables(t *testing.T) {
+	if Exp2T[0] != 1 {
+		t.Errorf("Exp2T[0] = %g, want 1", Exp2T[0])
+	}
+	for j := 0; j < 64; j++ {
+		want := math.Exp2(float64(j) / 64)
+		if d := math.Abs(Exp2T[j] - want); d > 2*ulp64(want) {
+			t.Errorf("Exp2T[%d] = %.17g, math says %.17g", j, Exp2T[j], want)
+		}
+	}
+	for j := 0; j < 128; j++ {
+		f := 1 + float64(j)/128
+		if RecipT[j] != 1/f {
+			t.Errorf("RecipT[%d] = %g, want %g", j, RecipT[j], 1/f)
+		}
+		if j == 0 {
+			if LnT[0] != 0 || Log2T[0] != 0 || Log10T[0] != 0 {
+				t.Error("log tables must be zero at j=0")
+			}
+			continue
+		}
+		// Go's math.Log2 is itself off by >10 ulps in places, so the
+		// comparison is deliberately loose; tight accuracy is covered by the
+		// oracle package's convergence tests.
+		if d := math.Abs(LnT[j] - math.Log(f)); d > 32*ulp64(math.Log(f)) {
+			t.Errorf("LnT[%d] = %.17g, math says %.17g", j, LnT[j], math.Log(f))
+		}
+		// Go's math.Log2 is tens of ulps off near 1; cross-check the log2
+		// table against the (accurate) math.Log instead.
+		if d := math.Abs(Log2T[j] - math.Log(f)/math.Ln2); d > 4*ulp64(Log2T[j]) {
+			t.Errorf("Log2T[%d] = %.17g, ln/ln2 says %.17g", j, Log2T[j], math.Log(f)/math.Ln2)
+		}
+	}
+	if math.Abs(Ln2-math.Ln2) > 0 {
+		t.Errorf("Ln2 = %.17g, math.Ln2 = %.17g", Ln2, math.Ln2)
+	}
+	if math.Abs(Log10Of2*InvLog10Of2x64-64) > 1e-13 {
+		t.Error("log10(2) constants inconsistent")
+	}
+}
+
+func ulp64(v float64) float64 {
+	return math.Abs(math.Nextafter(v, math.Inf(1)) - v)
+}
+
+// TestCodyWaiteExactness: n*hi must be exact for the n produced by the
+// reductions (|n| < 2^20).
+func TestCodyWaiteExactness(t *testing.T) {
+	for _, hi := range []float64{Ln2x64Hi, Log10Of2x64Hi} {
+		hr := new(big.Rat).SetFloat64(hi)
+		for _, n := range []float64{1, 3, 1023, 8191, 65535, 524287, -524287, -8191} {
+			prod := n * hi
+			want := new(big.Rat).Mul(new(big.Rat).SetFloat64(n), hr)
+			if new(big.Rat).SetFloat64(prod).Cmp(want) != 0 {
+				t.Errorf("n*hi not exact for n=%g, hi=%.20g", n, hi)
+			}
+		}
+	}
+	// hi + lo reconstructs the constant to quad-ish precision.
+	if math.Abs((Ln2x64Hi+Ln2x64Lo)*64-math.Ln2) > 1e-15 {
+		t.Error("ln2/64 split inconsistent")
+	}
+}
+
+// TestReduceExp2Exact: the exp2 reduction is exact — x == n/64 + r as
+// rationals.
+func TestReduceExp2Exact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 20000; i++ {
+		x := float64(float32((rng.Float64()*2 - 1) * 149))
+		r, k := ReduceExp2(x)
+		n := int64(k.Q)*64 + int64(k.J)
+		sum := new(big.Rat).SetFrac64(n, 64)
+		sum.Add(sum, new(big.Rat).SetFloat64(r))
+		if sum.Cmp(new(big.Rat).SetFloat64(x)) != 0 {
+			t.Fatalf("exp2 reduction inexact at x=%g: n=%d r=%g", x, n, r)
+		}
+		if math.Abs(r) > 1.0/128+1e-12 {
+			t.Fatalf("reduced input %g out of range at x=%g", r, x)
+		}
+		if k.J < 0 || k.J > 63 {
+			t.Fatalf("bad j=%d", k.J)
+		}
+	}
+}
+
+// TestReduceExpAccuracy: r is within a couple of ulps of the ideal
+// x - n*ln2/64, and stays in the reduced range.
+func TestReduceExpAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ln2big, _, _ := oracle.Constants(200)
+	ln2r, _ := new(big.Float).SetPrec(200).Set(ln2big).Rat(nil)
+	for i := 0; i < 5000; i++ {
+		x := float64(float32((rng.Float64()*2 - 1) * 103))
+		r, k := ReduceExp(x)
+		n := int64(k.Q)*64 + int64(k.J)
+		ideal := new(big.Rat).SetFloat64(x)
+		step := new(big.Rat).Mul(new(big.Rat).SetFrac64(n, 64), ln2r)
+		ideal.Sub(ideal, step)
+		got := new(big.Rat).SetFloat64(r)
+		diff, _ := new(big.Rat).Sub(got, ideal).Float64()
+		if math.Abs(diff) > 1e-17 {
+			t.Fatalf("exp reduction error %g at x=%g", diff, x)
+		}
+		if math.Abs(r) > math.Ln2/128*1.01 {
+			t.Fatalf("reduced input %g out of range at x=%g (n=%d)", r, x, n)
+		}
+	}
+}
+
+// TestReduceLogDecomposition: x = 2^e * (F + f*F) up to the one rounding in
+// f, and the compensations reassemble the logarithm to double accuracy.
+func TestReduceLogDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 20000; i++ {
+		x := float64(float32(math.Ldexp(1+rng.Float64(), rng.Intn(250)-125)))
+		f, k := ReduceLog(x)
+		if f < 0 || f >= 1.0/128+1e-10 {
+			t.Fatalf("reduced log input %g out of [0, 1/128) at x=%g", f, x)
+		}
+		F := 1 + float64(k.J)/128
+		m := math.Ldexp(x, -int(k.Q))
+		if !(m >= 1 && m < 2) {
+			t.Fatalf("bad mantissa %g for x=%g", m, x)
+		}
+		if math.Abs(F*(1+f)-m) > 1e-14 {
+			t.Fatalf("decomposition off: F=%g f=%g m=%g", F, f, m)
+		}
+	}
+}
+
+// TestCompensationRoundTrip: feeding the correctly rounded value of the
+// reduced function into the output compensation reproduces the elementary
+// function to a couple of double ulps.
+func TestCompensationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	cases := []struct {
+		fn  oracle.Func
+		gen func() float64
+	}{
+		{oracle.Exp, func() float64 { return float64(float32((rng.Float64()*2 - 1) * 80)) }},
+		{oracle.Exp2, func() float64 { return float64(float32((rng.Float64()*2 - 1) * 120)) }},
+		{oracle.Exp10, func() float64 { return float64(float32((rng.Float64()*2 - 1) * 35)) }},
+		{oracle.Log, func() float64 { return float64(float32(math.Ldexp(1+rng.Float64(), rng.Intn(200)-100))) }},
+		{oracle.Log2, func() float64 { return float64(float32(math.Ldexp(1+rng.Float64(), rng.Intn(200)-100))) }},
+		{oracle.Log10, func() float64 { return float64(float32(math.Ldexp(1+rng.Float64(), rng.Intn(200)-100))) }},
+	}
+	for _, tc := range cases {
+		red := For(tc.fn)
+		for i := 0; i < 400; i++ {
+			x := tc.gen()
+			r, k := red.Reduce(x)
+			// p = high-precision value of the reduced function at r.
+			var p float64
+			switch tc.fn {
+			case oracle.Exp:
+				p = f64(oracle.Exp.EvalBig(r, 80))
+			case oracle.Exp2:
+				p = f64(oracle.Exp2.EvalBig(r, 80))
+			case oracle.Exp10:
+				p = f64(oracle.Exp10.EvalBig(r, 80))
+			case oracle.Log:
+				p = f64(oracle.Log.EvalBig(1+r, 80))
+			case oracle.Log2:
+				p = f64(oracle.Log2.EvalBig(1+r, 80))
+			case oracle.Log10:
+				p = f64(oracle.Log10.EvalBig(1+r, 80))
+			}
+			got := red.Compensate(p, k)
+			want := f64(tc.fn.EvalBig(x, 80))
+			if math.IsInf(want, 0) || want == 0 {
+				continue
+			}
+			// The log-family compensation can amplify half-ulp table error
+			// when e and L[j] cancel; the LP layer absorbs exactly this, so
+			// the smoke test here is deliberately loose.
+			tol := 4*ulp64(want) + 2*ulp64(math.Abs(float64(k.Q))+1)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%v(%g): compensated %.17g, reference %.17g", tc.fn, x, got, want)
+			}
+		}
+	}
+}
+
+func TestOrdRoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, math.MaxFloat64, -math.MaxFloat64, 4.9e-324, -4.9e-324, 1.5e-300}
+	for _, v := range vals {
+		if got := fromOrd(ord(v)); got != v {
+			t.Errorf("fromOrd(ord(%g)) = %g", v, got)
+		}
+	}
+	// Ordering is monotone.
+	sorted := []float64{-math.MaxFloat64, -1, -4.9e-324, 0, 4.9e-324, 1, math.MaxFloat64}
+	for i := 0; i+1 < len(sorted); i++ {
+		if !(ord(sorted[i]) < ord(sorted[i+1])) {
+			t.Errorf("ord not monotone between %g and %g", sorted[i], sorted[i+1])
+		}
+	}
+}
+
+func TestMonotoneSearch(t *testing.T) {
+	f := func(p float64) float64 { return 3*p + 1 }
+	lo, ok := lowestWith(f, 10)
+	if !ok || f(lo) < 10 || f(math.Nextafter(lo, math.Inf(-1))) >= 10 {
+		t.Errorf("lowestWith broken: lo=%g f(lo)=%g", lo, f(lo))
+	}
+	hi, ok := highestWith(f, 10)
+	if !ok || f(hi) > 10 || f(math.Nextafter(hi, math.Inf(1))) <= 10 {
+		t.Errorf("highestWith broken: hi=%g f(hi)=%g", hi, f(hi))
+	}
+	if _, ok := lowestWith(func(p float64) float64 { return -1 }, 10); ok {
+		t.Error("lowestWith should fail when unreachable")
+	}
+	if _, ok := highestWith(func(p float64) float64 { return 11 }, 10); ok {
+		t.Error("highestWith should fail when unreachable")
+	}
+}
+
+// TestReducedIntervalExact: the recovered [lo, hi] is the exact preimage of
+// the rounding interval under the real double-precision output compensation.
+func TestReducedIntervalExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for _, fn := range oracle.Funcs {
+		red := For(fn)
+		for i := 0; i < 300; i++ {
+			var x float64
+			if fn.IsLog() {
+				x = float64(float32(math.Ldexp(1+rng.Float64(), rng.Intn(100)-50)))
+			} else {
+				x = float64(float32((rng.Float64()*2 - 1) * 30))
+			}
+			_, k := red.Reduce(x)
+			// Build an interval around a known output.
+			p0 := 1 + rng.Float64()*0.01
+			if fn.IsLog() {
+				p0 = rng.Float64() * 0.005
+			}
+			v := red.Compensate(p0, k)
+			delta := math.Abs(v)*1e-9 + 1e-300
+			iv := interval.Interval{Lo: v - delta, Hi: v + delta}
+			got, ok := ReducedInterval(red, k, iv)
+			if !ok {
+				t.Fatalf("%v: no reduced interval for %v (key %+v)", fn, iv, k)
+			}
+			if !(got.Lo <= p0 && p0 <= got.Hi) {
+				t.Fatalf("%v: p0=%g outside reduced interval %v", fn, p0, got)
+			}
+			// Exactness at the boundaries.
+			if oc := red.Compensate(got.Lo, k); oc < iv.Lo || oc > iv.Hi {
+				t.Fatalf("%v: OC(lo) = %g outside %v", fn, oc, iv)
+			}
+			if oc := red.Compensate(got.Hi, k); oc < iv.Lo || oc > iv.Hi {
+				t.Fatalf("%v: OC(hi) = %g outside %v", fn, oc, iv)
+			}
+			if oc := red.Compensate(math.Nextafter(got.Lo, math.Inf(-1)), k); oc >= iv.Lo {
+				t.Fatalf("%v: OC just below lo still inside: %g", fn, oc)
+			}
+			if oc := red.Compensate(math.Nextafter(got.Hi, math.Inf(1)), k); oc <= iv.Hi {
+				t.Fatalf("%v: OC just above hi still inside: %g", fn, oc)
+			}
+		}
+	}
+}
+
+func TestExpScaleMatchesLdexp(t *testing.T) {
+	for q := int32(-300); q <= 300; q += 7 {
+		for j := int32(0); j < 64; j += 5 {
+			got := expScale(Key{Q: q, J: j})
+			want := math.Ldexp(Exp2T[j], int(q))
+			if got != want {
+				t.Fatalf("expScale(%d,%d) = %g, Ldexp = %g", q, j, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package rangered implements the range reductions and output compensation
+// functions of the six elementary functions, in double precision, exactly as
+// the generated library executes them. The polynomial generator validates
+// candidates through this same code, which is what lets RLibm treat range
+// reduction and output compensation as part of the constraint system rather
+// than as separately analyzed error sources.
+//
+// Reductions used (the RLibm family's table-based schemes):
+//
+//	e^x   = 2^q * T[j] * p(r),  r = x - n*(ln2/64),        n = 64q + j
+//	2^x   = 2^q * T[j] * p(r),  r = x - n/64,              n = 64q + j
+//	10^x  = 2^q * T[j] * p(r),  r = x - n*(log10(2)/64),   n = 64q + j
+//	ln x    = e*ln2    + L[j] + p(f),  x = 2^e*m, F = 1+j/128, f = (m-F)/F
+//	log2 x  = (e + L2[j]) + p(f)
+//	log10 x = e*log10(2) + L10[j] + p(f)
+//
+// where T[j] = 2^(j/64) and L*[j] are correctly rounded double tables, and
+// the polynomial p approximates 2^r (10^r, e^r) or log(1+f) over the tiny
+// reduced domain.
+package rangered
+
+import (
+	"math"
+	"math/big"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+)
+
+// Exported double-precision constants (initialized from the arbitrary-
+// precision oracle constants at package load).
+var (
+	// Ln2 is ln(2) correctly rounded to double.
+	Ln2 float64
+	// Log10Of2 is log10(2) correctly rounded to double.
+	Log10Of2 float64
+	// InvLn2x64 is 64/ln(2) correctly rounded to double.
+	InvLn2x64 float64
+	// InvLog10Of2x64 is 64/log10(2) correctly rounded to double.
+	InvLog10Of2x64 float64
+	// Ln2x64Hi/Ln2x64Lo form a Cody–Waite split of ln(2)/64: Hi carries 33
+	// significand bits so n*Hi is exact for |n| < 2^20.
+	Ln2x64Hi, Ln2x64Lo float64
+	// Log10Of2x64Hi/Lo form the equivalent split of log10(2)/64.
+	Log10Of2x64Hi, Log10Of2x64Lo float64
+)
+
+// Tables with 64 entries (exponential family) and 128 entries (log family).
+var (
+	// Exp2T[j] = 2^(j/64) correctly rounded to double.
+	Exp2T [64]float64
+	// exp2TBits caches the bit patterns for the fast 2^q scaling.
+	exp2TBits [64]uint64
+	// RecipT[j] = 1/(1+j/128) correctly rounded to double.
+	RecipT [128]float64
+	// LnT[j] = ln(1+j/128), Log2T[j] = log2(1+j/128), Log10T[j] =
+	// log10(1+j/128), each correctly rounded to double.
+	LnT, Log2T, Log10T [128]float64
+)
+
+// split33 is a 45-bit format whose 33-bit significand defines the Cody–Waite
+// high parts.
+var split33 = fp.Format{Bits: 44, ExpBits: 11}
+
+func init() {
+	const prec = 120
+	ln2, ln10, log210 := oracle.Constants(prec)
+
+	Ln2, _ = ln2.Float64()
+	log102 := new(big.Float).SetPrec(prec).Quo(big.NewFloat(1).SetPrec(prec), log210)
+	Log10Of2, _ = log102.Float64()
+
+	sixtyFour := big.NewFloat(64).SetPrec(prec)
+	inv := new(big.Float).SetPrec(prec).Quo(sixtyFour, ln2)
+	InvLn2x64, _ = inv.Float64()
+	inv.Quo(sixtyFour, log102)
+	InvLog10Of2x64, _ = inv.Float64()
+
+	Ln2x64Hi, Ln2x64Lo = codyWaite(new(big.Float).SetPrec(prec).Quo(ln2, sixtyFour))
+	Log10Of2x64Hi, Log10Of2x64Lo = codyWaite(new(big.Float).SetPrec(prec).Quo(log102, sixtyFour))
+
+	for j := 0; j < 64; j++ {
+		Exp2T[j] = f64(oracle.Exp2.EvalBig(float64(j)/64, 80))
+		exp2TBits[j] = math.Float64bits(Exp2T[j])
+	}
+	for j := 0; j < 128; j++ {
+		f := 1 + float64(j)/128
+		RecipT[j] = 1 / f // correctly rounded division
+		if j == 0 {
+			continue // tables are zero at j=0
+		}
+		LnT[j] = f64(oracle.Log.EvalBig(f, 80))
+		Log2T[j] = f64(oracle.Log2.EvalBig(f, 80))
+		Log10T[j] = f64(oracle.Log10.EvalBig(f, 80))
+	}
+	_ = ln10
+}
+
+// codyWaite splits a positive constant into a 33-bit high part and a double
+// low part so products n*hi with |n| < 2^20 are exact.
+func codyWaite(v *big.Float) (hi, lo float64) {
+	hi = split33.RoundBigFloat(v, fp.RNE)
+	rest := new(big.Float).SetPrec(v.Prec()).Sub(v, new(big.Float).SetFloat64(hi))
+	lo, _ = rest.Float64()
+	return hi, lo
+}
+
+// f64 rounds a big.Float to the nearest double.
+func f64(x *big.Float) float64 {
+	v, _ := x.Float64()
+	return v
+}

@@ -1,0 +1,105 @@
+package rangered
+
+import (
+	"math"
+
+	"rlibm/internal/oracle"
+)
+
+// Trigonometric extension (the paper's announced future work, present in
+// RLibm): sin(pi*x) and cos(pi*x). Their appeal for the RLibm approach is
+// that the entire reduction is EXACT in double precision for every finite
+// double:
+//
+//	u = x mod 2            (exact: dyadic)
+//	sign, u: u in [1,2) -> sign=-1, u-=1       (exact)
+//	m = u > 1/2 ? 1-u : u  (exact; m in [0, 1/2])
+//	sin(pi*x)  = sign * g(m),  g(m) = sin(pi*m)
+//	cos(pi*x)  = sin(pi*(x+1/2))  (x+1/2 exact whenever x is not already a
+//	                               half-integer, which is the only case that
+//	                               reaches the polynomial path)
+//
+// Output compensation is a plain (exact) sign application, so it is
+// monotone increasing for sign=+1 and decreasing for sign=-1; the reduced
+// interval machinery handles both directions.
+
+// ReduceSinpi reduces x for sin(pi*x). The key's Q field carries the sign.
+// Negative inputs reduce through the odd symmetry: adding 2 to a tiny
+// negative remainder would round to exactly 2 and lose the input, while
+// every step below is exact in double.
+func ReduceSinpi(x float64) (float64, Key) {
+	sign := int32(1)
+	if x < 0 {
+		sign = -1
+		x = -x
+	}
+	u := math.Mod(x, 2)
+	if u >= 1 {
+		sign = -sign
+		u -= 1
+	}
+	if u > 0.5 {
+		u = 1 - u
+	}
+	return u, Key{Q: sign}
+}
+
+// ReduceCospi reduces x for cos(pi*x) through the even symmetry — never by
+// shifting the argument (x + 1/2 absorbs the shift for |x| >= 2^52 and
+// loses tiny |x|):
+//
+//	w in [0, 1/2] with cos(pi*x) = sign * cos(pi*w)   (every step exact)
+//	cos(pi*w) = sin(pi*(1/2 - w))
+//
+// The final 1/2 - w is exact for every input outside cospi's near-zero
+// plateau: a nonzero w is at least the input format's granularity at its
+// magnitude, far above the 2^-54 threshold where the subtraction rounds.
+func ReduceCospi(x float64) (float64, Key) {
+	u := math.Mod(math.Abs(x), 2)
+	if u > 1 {
+		u = 2 - u
+	}
+	sign := int32(1)
+	if u > 0.5 {
+		sign = -1
+		u = 1 - u
+	}
+	return 0.5 - u, Key{Q: sign}
+}
+
+// CompensateSign applies the quadrant sign: the whole output compensation of
+// the trigonometric reductions.
+func CompensateSign(p float64, k Key) float64 {
+	if k.Q < 0 {
+		return -p
+	}
+	return p
+}
+
+// trigExactPoint reports the structural polynomial values at the exact
+// reduced points: g(0) = 0 and g(1/2) = 1.
+func trigExactPoint(r float64) (float64, bool) {
+	switch r {
+	case 0:
+		return 0, true
+	case 0.5:
+		return 1, true
+	}
+	return 0, false
+}
+
+// forTrig returns the Reduction for sinpi or cospi.
+func forTrig(fn oracle.Func) Reduction {
+	reduce := ReduceSinpi
+	if fn == oracle.Cospi {
+		reduce = ReduceCospi
+	}
+	return Reduction{
+		Fn:         fn,
+		Reduce:     reduce,
+		Compensate: CompensateSign,
+		InvApprox:  func(v float64, k Key) float64 { return CompensateSign(v, k) },
+		PExact:     trigExactPoint,
+		Decreasing: func(k Key) bool { return k.Q < 0 },
+	}
+}

@@ -1,0 +1,122 @@
+package rangered
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"rlibm/internal/interval"
+	"rlibm/internal/oracle"
+)
+
+// TestReduceSinpiExact: the decomposition x = 2k + [sign/m] is exact — the
+// identity sin(pi*x) = sign*sin(pi*m) holds as real numbers, checked with
+// the arbitrary-precision oracle.
+func TestReduceSinpiExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 2000; i++ {
+		x := float64(float32((rng.Float64()*2 - 1) * math.Ldexp(1, rng.Intn(30))))
+		m, k := ReduceSinpi(x)
+		if m < 0 || m > 0.5 {
+			t.Fatalf("ReduceSinpi(%g): m = %g out of [0, 1/2]", x, m)
+		}
+		if k.Q != 1 && k.Q != -1 {
+			t.Fatalf("ReduceSinpi(%g): sign %d", x, k.Q)
+		}
+		// Compare sin(pi*x) and sign*sin(pi*m) at high precision.
+		a := oracle.Sinpi.EvalBig(x, 120)
+		b := oracle.Sinpi.EvalBig(m, 120)
+		if k.Q < 0 {
+			b.Neg(b)
+		}
+		diff := new(big.Float).SetPrec(140).Sub(a, b)
+		if diff.Sign() != 0 {
+			bound := new(big.Float).SetPrec(140).Abs(a)
+			bound.SetMantExp(bound, -100)
+			if diff.Abs(diff).Cmp(bound) > 0 && a.Sign() != 0 {
+				t.Fatalf("ReduceSinpi(%g): identity violated (m=%g sign=%d)", x, m, k.Q)
+			}
+		}
+	}
+}
+
+func TestReduceCospiQuadrants(t *testing.T) {
+	cases := []struct {
+		x    float64
+		m    float64
+		sign int32
+	}{
+		{0, 0.5, 1},     // cos(0) = sin(pi/2)
+		{0.25, 0.25, 1}, // cos(pi/4) = sin(pi/4)... reduced of 0.75 -> 1-0.75
+		{1, 0.5, -1},    // cos(pi) = -1
+		{0.5, 0, -1},    // cos(pi/2) = -sin(0) (sign of zero is immaterial)
+	}
+	for _, tc := range cases {
+		m, k := ReduceCospi(tc.x)
+		if m != tc.m {
+			t.Errorf("ReduceCospi(%g): m = %g, want %g", tc.x, m, tc.m)
+		}
+		if m != 0 && k.Q != tc.sign { // at m=0 the sign is irrelevant
+			t.Errorf("ReduceCospi(%g): sign = %d, want %d", tc.x, k.Q, tc.sign)
+		}
+	}
+}
+
+func TestCompensateSign(t *testing.T) {
+	if got := CompensateSign(0.25, Key{Q: 1}); got != 0.25 {
+		t.Errorf("positive sign: %g", got)
+	}
+	if got := CompensateSign(0.25, Key{Q: -1}); got != -0.25 {
+		t.Errorf("negative sign: %g", got)
+	}
+}
+
+func TestTrigExactPoints(t *testing.T) {
+	red := For(oracle.Sinpi)
+	if v, ok := red.ExactPoint(0); !ok || v != 0 {
+		t.Errorf("ExactPoint(0) = %g, %v", v, ok)
+	}
+	if v, ok := red.ExactPoint(0.5); !ok || v != 1 {
+		t.Errorf("ExactPoint(0.5) = %g, %v", v, ok)
+	}
+	if _, ok := red.ExactPoint(0.25); ok {
+		t.Error("ExactPoint(0.25) should not be structural")
+	}
+	// The six paper functions keep the r==0-only behaviour.
+	redExp := For(oracle.Exp2)
+	if v, ok := redExp.ExactPoint(0); !ok || v != 1 {
+		t.Errorf("exp2 ExactPoint(0) = %g, %v", v, ok)
+	}
+	if _, ok := redExp.ExactPoint(0.001); ok {
+		t.Error("exp2 ExactPoint(0.001) should not be structural")
+	}
+}
+
+// TestReducedIntervalDecreasing: the sign=-1 quadrant of the trig
+// compensation is monotone decreasing; the recovered interval must still be
+// the exact preimage.
+func TestReducedIntervalDecreasing(t *testing.T) {
+	red := For(oracle.Sinpi)
+	k := Key{Q: -1}
+	// Result interval around -0.6 (sign=-1, p around +0.6).
+	iv := interval.Interval{Lo: -0.600000001, Hi: -0.599999999}
+	got, ok := ReducedInterval(red, k, iv)
+	if !ok {
+		t.Fatal("no reduced interval")
+	}
+	if !(got.Lo <= 0.6 && 0.6 <= got.Hi) {
+		t.Fatalf("reduced interval %v does not contain 0.6", got)
+	}
+	for _, p := range []float64{got.Lo, got.Hi} {
+		if oc := CompensateSign(p, k); oc < iv.Lo || oc > iv.Hi {
+			t.Fatalf("boundary %g compensates to %g outside %v", p, oc, iv)
+		}
+	}
+	if oc := CompensateSign(math.Nextafter(got.Hi, 2), k); oc >= iv.Lo {
+		t.Fatal("interval not tight above")
+	}
+	if oc := CompensateSign(math.Nextafter(got.Lo, -2), k); oc <= iv.Hi {
+		t.Fatal("interval not tight below")
+	}
+}
