@@ -13,6 +13,7 @@
 package rlibm_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -221,7 +222,37 @@ func BenchmarkGenerate(b *testing.B) {
 					Scheme: s,
 					Input:  fp.Format{Bits: 12, ExpBits: 8},
 					Seed:   1,
+					// Serial: this benchmark tracks the single-thread cost.
+					Workers: 1,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateWorkers measures the wall-clock scaling of the parallel
+// pipeline on an exp-family function in its realistic shape — GenerateAll
+// over all four evaluation schemes (the `rlibm-gen -scheme all` workflow).
+// With Workers > 1 the oracle/interval collection shards over input bit
+// patterns and the four scheme solve loops run concurrently, so on a
+// multi-core machine wall-clock shrinks toward max(solve) + collect/N.
+// Results are bit-identical for every worker count (see
+// TestGenerateDeterministic). Run with:
+//
+//	go test -bench BenchmarkGenerateWorkers -benchtime 3x
+func BenchmarkGenerateWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("exp2/all-schemes/14bit/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.GenerateAll(core.Config{
+					Fn:      oracle.Exp2,
+					Input:   fp.Format{Bits: 14, ExpBits: 8},
+					Seed:    1,
+					Workers: workers,
+				}, poly.PaperSchemes)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -17,18 +17,31 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
+	"rlibm/internal/core"
+	"rlibm/internal/fp"
 	"rlibm/internal/libm"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
 )
 
 func main() {
 	var (
-		inputs = flag.Int("inputs", 1<<16, "number of inputs per sweep")
-		rounds = flag.Int("rounds", 9, "timed repetitions; the minimum is reported")
-		seed   = flag.Int64("seed", 42, "input generation seed")
+		inputs   = flag.Int("inputs", 1<<16, "number of inputs per sweep")
+		rounds   = flag.Int("rounds", 9, "timed repetitions; the minimum is reported")
+		seed     = flag.Int64("seed", 42, "input generation seed")
+		genBench = flag.Bool("gen", false, "benchmark the generation pipeline instead: core.Generate wall-clock serial vs -j workers")
+		genBits  = flag.Int("gen-bits", 18, "input format width for -gen")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the -gen parallel run")
 	)
 	flag.Parse()
+
+	if *genBench {
+		benchGenerate(*genBits, *workers, *seed)
+		return
+	}
 
 	fmt.Printf("rlibm-bench: %d inputs/function, best of %d rounds\n\n", *inputs, *rounds)
 
@@ -77,6 +90,60 @@ func main() {
 		fmt.Printf("Average speedup of %s over RLIBM: %.2f%%\n\n", names[si-1], sum/float64(len(rows)))
 	}
 	os.Exit(0)
+}
+
+// benchGenerate times the offline generation pipeline — the quantity the
+// RLIBM papers identify as the practical bottleneck when scaling to more
+// functions and formats — on an exp-family function in its realistic shape:
+// GenerateAll over all four evaluation schemes (the `rlibm-gen -scheme all`
+// workflow). Serial (Workers: 1) runs collection then four solve loops back
+// to back; the parallel run shards the collection AND solves the four
+// scheme loops concurrently, so on a multi-core machine the wall-clock
+// shrinks toward max(solve_i) + collect/N. The two runs must agree bit for
+// bit — that is the determinism contract the sharded reduction buys. The
+// oracle cache is per-run, so the parallel run pays its own Ziv
+// escalations rather than reusing the serial run's.
+func benchGenerate(bits, workers int, seed int64) {
+	cfg := core.Config{
+		Fn:    oracle.Exp2,
+		Input: fp.Format{Bits: bits, ExpBits: 8},
+		Seed:  seed,
+	}
+	fmt.Printf("rlibm-bench -gen: %v, all %d schemes, %d-bit input format, seed %d\n",
+		cfg.Fn, len(poly.PaperSchemes), bits, seed)
+
+	run := func(w int) ([]*core.Result, time.Duration) {
+		c := cfg
+		c.Workers = w
+		start := time.Now()
+		rs, err := core.GenerateAll(c, poly.PaperSchemes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rlibm-bench:", err)
+			os.Exit(1)
+		}
+		return rs, time.Since(start)
+	}
+	serialRes, serial := run(1)
+	parallelRes, parallel := run(workers)
+	fmt.Printf("  serial   (workers=1):  %v  (collect %v)\n", serial.Round(time.Millisecond), serialRes[0].Stats.CollectTime.Round(time.Millisecond))
+	fmt.Printf("  parallel (workers=%d): %v  (collect %v)\n", workers, parallel.Round(time.Millisecond), parallelRes[0].Stats.CollectTime.Round(time.Millisecond))
+	fmt.Printf("  speedup: %.2fx\n", serial.Seconds()/parallel.Seconds())
+	for si := range serialRes {
+		sr, pr := serialRes[si], parallelRes[si]
+		if len(sr.Pieces) != len(pr.Pieces) {
+			fmt.Fprintf(os.Stderr, "rlibm-bench: worker-count nondeterminism: %v has %d vs %d pieces\n", sr.Scheme, len(sr.Pieces), len(pr.Pieces))
+			os.Exit(1)
+		}
+		for i := range sr.Pieces {
+			for j, c := range sr.Pieces[i].Coeffs {
+				if math.Float64bits(c) != math.Float64bits(pr.Pieces[i].Coeffs[j]) {
+					fmt.Fprintf(os.Stderr, "rlibm-bench: worker-count nondeterminism: %v piece %d coeff %d differs\n", sr.Scheme, i, j)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	fmt.Println("  coefficients bit-identical across worker counts: ok")
 }
 
 // makeSweep draws inputs spanning the function's interesting domain: the

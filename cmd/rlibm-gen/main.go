@@ -6,7 +6,7 @@
 //
 //	rlibm-gen [-func all|exp|exp2|exp10|log|log2|log10|sinpi|cospi]
 //	          [-scheme all|horner|knuth|estrin|estrin-fma]
-//	          [-bits 32] [-expbits 8] [-stride 4096] [-seed 1]
+//	          [-bits 32] [-expbits 8] [-stride 4096] [-seed 1] [-j 8]
 //	          [-emit libmdata.go] [-table1] [-v]
 //
 // Examples:
@@ -37,6 +37,7 @@ func main() {
 		expBits    = flag.Int("expbits", 8, "input format exponent width")
 		stride     = flag.Uint64("stride", 4093, "enumerate every stride-th input bit pattern (a prime avoids aliasing with mantissa bit boundaries)")
 		seed       = flag.Int64("seed", 1, "random seed for constraint sampling")
+		workers    = flag.Int("j", 0, "worker goroutines for collection/checking and concurrent schemes (0 = GOMAXPROCS); results are identical for every value")
 		degree     = flag.Int("degree", 0, "starting polynomial degree (0 = per-function default)")
 		pieces     = flag.Int("pieces", 0, "piecewise pieces (0 = per-function default)")
 		emit       = flag.String("emit", "", "write the internal/libm Go data file to this path")
@@ -70,12 +71,13 @@ func main() {
 	var results []*core.Result
 	for _, fn := range fns {
 		cfg := core.Config{
-			Fn:     fn,
-			Input:  input,
-			Stride: *stride,
-			Seed:   *seed,
-			Degree: *degree,
-			Pieces: *pieces,
+			Fn:      fn,
+			Input:   input,
+			Stride:  *stride,
+			Seed:    *seed,
+			Degree:  *degree,
+			Pieces:  *pieces,
+			Workers: *workers,
 		}
 		if *verbose {
 			cfg.Log = os.Stderr
@@ -87,8 +89,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%v: all schemes done in %v\n", fn, time.Since(start).Round(time.Millisecond))
 		for _, res := range rs {
-			fmt.Fprintf(os.Stderr, "  generated %s (%d constraints, %d LP solves, %d iterations)\n",
-				res.Describe(), res.Stats.Constraints, res.Stats.LPSolves, res.Stats.Iterations)
+			fmt.Fprintf(os.Stderr, "  generated %s (%d constraints, %d LP solves, %d iterations, collect %v, solve %v, oracle cache %d hits / %d misses)\n",
+				res.Describe(), res.Stats.Constraints, res.Stats.LPSolves, res.Stats.Iterations,
+				res.Stats.CollectTime.Round(time.Millisecond), res.Stats.SolveTime.Round(time.Millisecond),
+				res.Stats.OracleHits, res.Stats.OracleMisses)
 			results = append(results, res)
 			if *emit == "" && !*table1 {
 				printResult(res)

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
 	"rlibm/internal/fp"
 	"rlibm/internal/oracle"
@@ -63,8 +65,23 @@ type Config struct {
 	MaxSpecials int
 	// Seed makes the randomized constraint sampling deterministic.
 	Seed int64
+	// Workers is the number of goroutines sharding the oracle/interval
+	// collection pass and the per-iteration full-constraint check, and — when
+	// > 1 — also runs GenerateAll's schemes concurrently. 0 picks
+	// runtime.GOMAXPROCS(0). Results are bit-identical for every worker
+	// count: the parallel phases reduce their outputs in a sorted,
+	// shard-independent order.
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+
+	// cache memoizes oracle queries across the whole run — the aligned pass,
+	// domain-cut neighbourhoods, demotions and multi-scheme GenerateAll all
+	// re-ask for inputs the stride sweep already paid the Ziv escalation for.
+	// Shared by pointer across the per-scheme Config copies.
+	cache *oracle.Cache
+	// logMu serializes Log writes from concurrent schemes and workers.
+	logMu *sync.Mutex
 }
 
 func (c *Config) setDefaults() error {
@@ -104,6 +121,18 @@ func (c *Config) setDefaults() error {
 	if c.MaxSpecials == 0 {
 		c.MaxSpecials = 64
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.cache == nil {
+		c.cache = oracle.NewCache(0)
+	}
+	if c.logMu == nil {
+		c.logMu = &sync.Mutex{}
+	}
 	return nil
 }
 
@@ -136,9 +165,14 @@ var defaultPieces = map[oracle.Func]int{
 }
 
 func (c *Config) logf(format string, args ...any) {
-	if c.Log != nil {
-		fmt.Fprintf(c.Log, format+"\n", args...)
+	if c.Log == nil {
+		return
 	}
+	if c.logMu != nil {
+		c.logMu.Lock()
+		defer c.logMu.Unlock()
+	}
+	fmt.Fprintf(c.Log, format+"\n", args...)
 }
 
 // Domain describes the input region handled by the polynomial path of an

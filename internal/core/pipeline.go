@@ -6,6 +6,8 @@ import (
 	"math/big"
 	"math/rand"
 	"sort"
+	"sync"
+	"time"
 
 	"rlibm/internal/fp"
 	"rlibm/internal/interval"
@@ -38,11 +40,21 @@ type Piece struct {
 
 // Stats records how the generation run went.
 type Stats struct {
-	Inputs          int // enumerated polynomial-path inputs
+	Inputs          int // enumerated polynomial-path inputs (deduplicated)
 	Constraints     int // merged reduced constraints
 	LPSolves        int
 	Iterations      int
 	ConstrainEvents int // intervals shrunk by the check step
+
+	// CollectTime is the wall-clock of the shared oracle/interval collection
+	// pass; SolveTime is the wall-clock of this scheme's generate–check–
+	// constrain loop. With Workers > 1 both passes run sharded, so these are
+	// elapsed times, not CPU times.
+	CollectTime time.Duration
+	SolveTime   time.Duration
+	// OracleHits / OracleMisses count memoized vs freshly computed oracle
+	// queries across the whole GenerateAll run (shared by every scheme).
+	OracleHits, OracleMisses int64
 }
 
 // Result is a generated correctly rounded implementation.
@@ -74,7 +86,10 @@ func Generate(cfg Config) (*Result, error) {
 // GenerateAll runs the pipeline for several evaluation schemes of one
 // function, sharing the (expensive) oracle/interval collection: the
 // constraint set depends only on the function and the formats, while the
-// generate–check–constrain loop is scheme-specific.
+// generate–check–constrain loop is scheme-specific. With Workers > 1 the
+// schemes solve concurrently (collection is shared and each scheme's loop is
+// independent); results are bit-identical to a serial run because every
+// scheme derives its randomness from its own (Seed, Fn, Scheme) source.
 func GenerateAll(cfg Config, schemes []poly.Scheme) ([]*Result, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -82,140 +97,127 @@ func GenerateAll(cfg Config, schemes []poly.Scheme) ([]*Result, error) {
 	red := rangered.For(cfg.Fn)
 	dom := FindDomain(cfg.Fn, cfg.Target)
 
+	collectStart := time.Now()
 	preSpecials := map[uint64]float64{}
 	work, stats, err := collect(&cfg, red, dom, preSpecials)
 	if err != nil {
 		return nil, err
 	}
-	cfg.logf("%v: %d constraints, %d pre-specials", cfg.Fn, len(work), len(preSpecials))
+	stats.CollectTime = time.Since(collectStart)
+	cfg.logf("%v: %d constraints, %d pre-specials (collected in %v, %d workers)",
+		cfg.Fn, len(work), len(preSpecials), stats.CollectTime.Round(time.Millisecond), cfg.Workers)
 
-	var out []*Result
-	for _, scheme := range schemes {
-		res := &Result{
-			Fn:       cfg.Fn,
-			Scheme:   scheme,
-			Input:    cfg.Input,
-			Target:   cfg.Target,
-			Dom:      dom,
-			Specials: make(map[uint64]float64, len(preSpecials)),
-			Stats:    stats,
-			red:      red,
+	out := make([]*Result, len(schemes))
+	errs := make([]error, len(schemes))
+	solve := func(i int, scheme poly.Scheme) {
+		out[i], errs[i] = generateScheme(cfg, scheme, work, preSpecials, dom, red, stats)
+	}
+	if cfg.Workers > 1 && len(schemes) > 1 {
+		var wg sync.WaitGroup
+		for i, scheme := range schemes {
+			wg.Add(1)
+			go func(i int, scheme poly.Scheme) {
+				defer wg.Done()
+				solve(i, scheme)
+			}(i, scheme)
 		}
-		for b, y := range preSpecials {
-			res.Specials[b] = y
+		wg.Wait()
+	} else {
+		for i, scheme := range schemes {
+			solve(i, scheme)
 		}
-		scfg := cfg
-		scfg.Scheme = scheme
-		chunks := split(work, scfg.Pieces)
-		if cfg.Fn.IsTrig() {
-			chunks = splitByValue(work, scfg.Pieces)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		rng := rand.New(rand.NewSource(scfg.Seed + int64(scfg.Fn)<<8 + int64(scheme)))
-		for _, chunk := range chunks {
-			piece, err := solvePiece(&scfg, chunk, rng, res)
-			if err != nil {
-				return nil, fmt.Errorf("%v/%v: %w", scfg.Fn, scheme, err)
-			}
-			res.Pieces = append(res.Pieces, *piece)
-		}
-		sort.Slice(res.Pieces, func(i, j int) bool { return res.Pieces[i].Lo < res.Pieces[j].Lo })
-		out = append(out, res)
+	}
+	hits, misses := cfg.cache.Stats()
+	for _, res := range out {
+		res.Stats.OracleHits, res.Stats.OracleMisses = hits, misses
 	}
 	return out, nil
 }
 
+// generateScheme runs the scheme-specific half of the pipeline — piecewise
+// splitting and the generate–check–constrain loop — over the shared
+// constraint set. work is read-only here: adaptLoop copies the intervals it
+// shrinks, so concurrent schemes never race on it.
+func generateScheme(cfg Config, scheme poly.Scheme, work []*workItem,
+	preSpecials map[uint64]float64, dom Domain, red rangered.Reduction, stats Stats) (*Result, error) {
+
+	start := time.Now()
+	res := &Result{
+		Fn:       cfg.Fn,
+		Scheme:   scheme,
+		Input:    cfg.Input,
+		Target:   cfg.Target,
+		Dom:      dom,
+		Specials: make(map[uint64]float64, len(preSpecials)),
+		Stats:    stats,
+		red:      red,
+	}
+	for b, y := range preSpecials {
+		res.Specials[b] = y
+	}
+	scfg := cfg
+	scfg.Scheme = scheme
+	chunks := split(work, scfg.Pieces)
+	if cfg.Fn.IsTrig() {
+		chunks = splitByValue(work, scfg.Pieces)
+	}
+	rng := rand.New(rand.NewSource(scfg.Seed + int64(scfg.Fn)<<8 + int64(scheme)))
+	for _, chunk := range chunks {
+		piece, err := solvePiece(&scfg, chunk, rng, res)
+		if err != nil {
+			return nil, fmt.Errorf("%v/%v: %w", scfg.Fn, scheme, err)
+		}
+		res.Pieces = append(res.Pieces, *piece)
+	}
+	sort.Slice(res.Pieces, func(i, j int) bool { return res.Pieces[i].Lo < res.Pieces[j].Lo })
+	res.Stats.SolveTime = time.Since(start)
+	return res, nil
+}
+
+// candidate is one enumerated input's contribution to the constraint set,
+// recorded before the cross-worker reduction: the input (xb), its oracle
+// result (y), and its reduced input (r/rb) and interval. Keeping per-input
+// candidates — rather than merging inside each worker — is what makes the
+// parallel reduction bit-for-bit deterministic: the merge order per reduced
+// input is the sorted source order, independent of how the enumeration was
+// sharded.
+type candidate struct {
+	rb uint64 // bits of r, the grouping key (distinguishes ±0)
+	xb uint64 // original input bits
+	r  float64
+	y  float64 // round-to-odd oracle result for xb
+	iv interval.Interval
+}
+
+// collectShard is one worker's private output buffer.
+type collectShard struct {
+	cands    []candidate
+	specials map[uint64]float64
+}
+
 // collect enumerates the inputs, asks the oracle for round-to-odd results,
 // computes rounding intervals, reduces them, and merges by reduced input.
+// The enumeration is sharded across cfg.Workers goroutines (the oracle pass
+// is the pipeline's dominant cost and is embarrassingly parallel over bit
+// patterns); the barrier reduction sorts by (reduced input, source input) so
+// the merged constraints are identical for any worker count.
 func collect(cfg *Config, red rangered.Reduction, dom Domain, specials map[uint64]float64) ([]*workItem, Stats, error) {
 	var stats Stats
-	merged := map[uint64]*workItem{}
-
-	addInput := func(x float64) {
-		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
-			return
-		}
-		if cfg.Fn.IsLog() && x < 0 {
-			return
-		}
-		if !dom.PolyPath(x) {
-			return
-		}
-		xb := math.Float64bits(x)
-		y := oracle.Correct(cfg.Fn, x, cfg.Target, fp.RTO)
-		r, key := red.Reduce(x)
-		if pv, structural := red.ExactPoint(r); structural {
-			// Structurally exact reduced inputs are served by the table /
-			// sign logic alone; only an inconsistency would make one a
-			// real special case.
-			oc := red.Compensate(pv, key)
-			good := oc == y // covers exact results, including zeros
-			if !good {
-				if iv, err := interval.Rounding(y, cfg.Target, fp.RTO); err == nil {
-					good = iv.Contains(oc)
-				}
-			}
-			if !good {
-				specials[xb] = y
-			}
-			return
-		}
-		iv, err := interval.Rounding(y, cfg.Target, fp.RTO)
-		if err != nil {
-			specials[xb] = y
-			return
-		}
-		riv, ok := rangered.ReducedInterval(red, key, iv)
-		if !ok {
-			specials[xb] = y
-			return
-		}
-		stats.Inputs++
-		rb := math.Float64bits(r)
-		item, exists := merged[rb]
-		if !exists {
-			merged[rb] = &workItem{R: r, Iv: riv, Sources: []uint64{xb}}
-			return
-		}
-		// Intersect with the existing constraint.
-		lo := math.Max(item.Iv.Lo, riv.Lo)
-		hi := math.Min(item.Iv.Hi, riv.Hi)
-		if lo > hi {
-			// Irreconcilable at this reduced input: the newcomer becomes a
-			// special case (the paper's CombineRedIntervals would fail the
-			// whole run; demoting the conflicting input preserves progress).
-			specials[xb] = y
-			return
-		}
-		item.Iv = interval.Interval{Lo: lo, Hi: hi}
-		item.Sources = append(item.Sources, xb)
+	if cfg.cache == nil {
+		cfg.cache = oracle.NewCache(0)
 	}
 
-	// Stride enumeration over the input format's bit patterns.
-	n := cfg.Input.Count()
-	for b := uint64(0); b < n; b += cfg.Stride {
-		addInput(cfg.Input.FromBits(b))
-	}
-	// Aligned pass: every input whose trailing 13 significand bits are zero
-	// — for binary32 that is a superset of all tensorfloat32 and bfloat16
-	// values — so stride-sampled generation still yields exhaustive
-	// correctness for the ML formats the paper's introduction motivates.
-	if cfg.Stride > 1 && cfg.Input.SigBits() > 13 {
-		const aligned = 1 << 13
-		for b := uint64(0); b < n; b += aligned {
-			addInput(cfg.Input.FromBits(b))
-		}
-	}
-	// Exact-result inputs are mandatory: their singleton intervals pin the
-	// polynomial (e.g. p(0) = 1 for the exponential family). They are
-	// enumerated directly — integers for the exponentials, powers of 2 and
-	// 10 for the logarithms — rather than scanning the whole input space.
-	for _, v := range exactInputs(cfg.Fn, cfg.Input, dom) {
-		addInput(v)
-	}
-	// Domain-cut neighbourhoods are mandatory too: inputs just past the
-	// plateau cuts have the tightest intervals of the whole domain (results
-	// a couple of target-format ulps from the plateau constant), and stride
-	// sampling would otherwise leave them to interpolation.
+	// The small mandatory passes are materialized up front and dealt to the
+	// workers round-robin. Exact-result inputs carry singleton intervals that
+	// pin the polynomial (e.g. p(0) = 1 for the exponential family);
+	// domain-cut neighbourhoods have the tightest intervals of the whole
+	// domain and stride sampling would otherwise leave them to interpolation.
+	extras := exactInputs(cfg.Fn, cfg.Input, dom)
 	for _, cut := range []float64{dom.Lo, dom.Hi, dom.TinyLo, dom.TinyHi} {
 		if cut == 0 || math.IsInf(cut, 0) || math.IsNaN(cut) {
 			continue
@@ -223,20 +225,162 @@ func collect(cfg *Config, red rangered.Reduction, dom Domain, specials map[uint6
 		up := cfg.Input.Round(cut, fp.RTP)
 		dn := cfg.Input.Round(cut, fp.RTN)
 		for i := 0; i < 128; i++ {
-			addInput(up)
-			addInput(dn)
+			extras = append(extras, up, dn)
 			up = cfg.Input.NextUp(up)
 			dn = cfg.Input.NextDown(dn)
 		}
 	}
 
-	work := make([]*workItem, 0, len(merged))
-	for _, it := range merged {
-		work = append(work, it)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	sort.Slice(work, func(i, j int) bool { return work[i].R < work[j].R })
+	n := cfg.Input.Count()
+	// Aligned pass: every input whose trailing 13 significand bits are zero
+	// — for binary32 that is a superset of all tensorfloat32 and bfloat16
+	// values — so stride-sampled generation still yields exhaustive
+	// correctness for the ML formats the paper's introduction motivates.
+	const aligned = 1 << 13
+	alignedPass := cfg.Stride > 1 && cfg.Input.SigBits() > 13
+
+	shards := make([]collectShard, workers)
+	runShard := func(w int) {
+		sh := &shards[w]
+		sh.specials = map[uint64]float64{}
+		// Stride enumeration over the input format's bit patterns,
+		// interleaved across workers.
+		for b := uint64(w) * cfg.Stride; b < n; b += cfg.Stride * uint64(workers) {
+			classify(cfg, red, dom, cfg.Input.FromBits(b), sh)
+		}
+		if alignedPass {
+			for b := uint64(w) * aligned; b < n; b += aligned * uint64(workers) {
+				classify(cfg, red, dom, cfg.Input.FromBits(b), sh)
+			}
+		}
+		for i := w; i < len(extras); i += workers {
+			classify(cfg, red, dom, extras[i], sh)
+		}
+	}
+	if workers == 1 {
+		runShard(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				runShard(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic reduction at the barrier: concatenate, sort by (reduced
+	// input, source input), then merge each reduced-input group in sorted
+	// source order. Duplicate enumerations of one input (aligned pass,
+	// domain-cut neighbourhoods overlapping the stride sweep) collapse here.
+	total := 0
+	for i := range shards {
+		total += len(shards[i].cands)
+		for b, y := range shards[i].specials {
+			specials[b] = y
+		}
+	}
+	all := make([]candidate, 0, total)
+	for i := range shards {
+		all = append(all, shards[i].cands...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].r != all[j].r {
+			return all[i].r < all[j].r
+		}
+		if all[i].rb != all[j].rb {
+			return all[i].rb < all[j].rb // +0 before -0: ordered, deterministically
+		}
+		return all[i].xb < all[j].xb
+	})
+
+	var work []*workItem
+	for i := 0; i < len(all); {
+		j := i + 1
+		for j < len(all) && all[j].rb == all[i].rb {
+			j++
+		}
+		item := &workItem{R: all[i].r, Iv: all[i].iv, Sources: []uint64{all[i].xb}}
+		stats.Inputs++
+		for k := i + 1; k < j; k++ {
+			c := all[k]
+			if c.xb == all[k-1].xb {
+				continue // duplicate enumeration of the same input
+			}
+			stats.Inputs++
+			// Intersect with the existing constraint.
+			lo := math.Max(item.Iv.Lo, c.iv.Lo)
+			hi := math.Min(item.Iv.Hi, c.iv.Hi)
+			if lo > hi {
+				// Irreconcilable at this reduced input: the newcomer becomes
+				// a special case (the paper's CombineRedIntervals would fail
+				// the whole run; demoting the conflicting input preserves
+				// progress).
+				specials[c.xb] = c.y
+				continue
+			}
+			item.Iv = interval.Interval{Lo: lo, Hi: hi}
+			item.Sources = append(item.Sources, c.xb)
+		}
+		work = append(work, item)
+		i = j
+	}
 	stats.Constraints = len(work)
 	return work, stats, nil
+}
+
+// classify computes one enumerated input's contribution — a special-case
+// entry, a reduced-constraint candidate, or nothing (filtered) — into the
+// worker's private shard. It only touches cfg/red/dom read-only and the
+// concurrency-safe oracle cache, so any number of workers may run it at once.
+func classify(cfg *Config, red rangered.Reduction, dom Domain, x float64, sh *collectShard) {
+	if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+		return
+	}
+	if cfg.Fn.IsLog() && x < 0 {
+		return
+	}
+	if !dom.PolyPath(x) {
+		return
+	}
+	xb := math.Float64bits(x)
+	y := cfg.cache.Correct(cfg.Fn, x, cfg.Target, fp.RTO)
+	r, key := red.Reduce(x)
+	if pv, structural := red.ExactPoint(r); structural {
+		// Structurally exact reduced inputs are served by the table /
+		// sign logic alone; only an inconsistency would make one a
+		// real special case.
+		oc := red.Compensate(pv, key)
+		good := oc == y // covers exact results, including zeros
+		if !good {
+			if iv, err := interval.Rounding(y, cfg.Target, fp.RTO); err == nil {
+				good = iv.Contains(oc)
+			}
+		}
+		if !good {
+			sh.specials[xb] = y
+		}
+		return
+	}
+	iv, err := interval.Rounding(y, cfg.Target, fp.RTO)
+	if err != nil {
+		sh.specials[xb] = y
+		return
+	}
+	riv, ok := rangered.ReducedInterval(red, key, iv)
+	if !ok {
+		sh.specials[xb] = y
+		return
+	}
+	sh.cands = append(sh.cands, candidate{
+		rb: math.Float64bits(r), xb: xb, r: r, y: y, iv: riv,
+	})
 }
 
 // exactInputs enumerates the format's inputs whose results are exactly
@@ -303,14 +447,19 @@ func split(work []*workItem, pieces int) [][]*workItem {
 // reduced-input width. The trigonometric quadrant needs this: reduced
 // inputs are log-distributed toward zero, so count-based splitting would
 // hand one piece most of [0, 1/2], where a low-degree polynomial cannot
-// reach interval accuracy.
+// reach interval accuracy. Non-finite reduced inputs (for which an equal-
+// width partition is meaningless) and any chunking that fails to cover the
+// constraints exactly fall back to count-based split.
 func splitByValue(work []*workItem, pieces int) [][]*workItem {
 	if pieces <= 1 || len(work) <= pieces {
 		return [][]*workItem{work}
 	}
 	lo, hi := work[0].R, work[len(work)-1].R
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return split(work, pieces)
+	}
 	width := (hi - lo) / float64(pieces)
-	if width <= 0 {
+	if width <= 0 || math.IsInf(width, 0) {
 		return [][]*workItem{work}
 	}
 	var out [][]*workItem
@@ -325,6 +474,17 @@ func splitByValue(work []*workItem, pieces int) [][]*workItem {
 			out = append(out, work[start:end])
 		}
 		start = end
+	}
+	// Post-condition: the chunks are consecutive slices of work (so they
+	// cannot overlap) and together cover every constraint. A rounding
+	// surprise in the bound arithmetic must not silently drop constraints —
+	// dropped constraints would surface as wrong results much later.
+	covered := 0
+	for _, c := range out {
+		covered += len(c)
+	}
+	if covered != len(work) {
+		return split(work, pieces)
 	}
 	return out
 }
@@ -345,6 +505,27 @@ func solvePiece(cfg *Config, work []*workItem, rng *rand.Rand, res *Result) (*Pi
 		cfg.logf("  degree %d failed: %v", degree, err)
 	}
 	return nil, fmt.Errorf("no polynomial up to degree %d satisfies the %d constraints", cfg.DegreeMax, len(work))
+}
+
+// demoteItem moves the sources of a work item into the special-case table
+// and unconstrains its interval. The budget is charged per source — not once
+// per item — and demotion stops with an error the moment it is exhausted, so
+// a many-source item can never overshoot Config.MaxSpecials. Sources already
+// in the table (demoted via a sibling constraint) are free.
+func demoteItem(cfg *Config, res *Result, it *workItem, budget int) (int, error) {
+	for _, xb := range it.Sources {
+		if _, ok := res.Specials[xb]; ok {
+			continue
+		}
+		if budget <= 0 {
+			return budget, fmt.Errorf("special-case budget exhausted (%d)", cfg.MaxSpecials)
+		}
+		x := math.Float64frombits(xb)
+		res.Specials[xb] = cfg.cache.Correct(cfg.Fn, x, cfg.Target, fp.RTO)
+		budget--
+	}
+	it.Iv = interval.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)} // unconstrained
+	return budget, nil
 }
 
 // adaptLoop is Algorithm 2: LP-solve on a sample, adapt for the scheme,
@@ -397,24 +578,24 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 	}
 
 	specialsBudget := cfg.MaxSpecials - len(res.Specials)
-	demote := func(it *workItem) error {
-		for _, xb := range it.Sources {
-			x := math.Float64frombits(xb)
-			res.Specials[xb] = oracle.Correct(cfg.Fn, x, cfg.Target, fp.RTO)
-			specialsBudget--
-		}
-		it.Iv = interval.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)} // unconstrained
-		if specialsBudget < 0 {
-			return fmt.Errorf("special-case budget exhausted (%d)", cfg.MaxSpecials)
-		}
-		return nil
-	}
+	vals := make([]float64, len(live))
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		res.Stats.Iterations++
-		// Exact rational LP on the sample.
-		cons := make([]lp.Constraint, 0, len(sample))
+		// The sample is a map for O(1) dedup, but LP constraint order decides
+		// the Bland's-rule pivot sequence — and with it the exact solution
+		// vertex. Go randomizes map iteration order, so feeding the simplex
+		// straight from the map would change the generated coefficients from
+		// run to run, silently defeating Config.Seed. Sort the indices first.
+		sampleIdx := make([]int, 0, len(sample))
 		for i := range sample {
+			sampleIdx = append(sampleIdx, i)
+		}
+		sort.Ints(sampleIdx)
+
+		// Exact rational LP on the sample.
+		cons := make([]lp.Constraint, 0, len(sampleIdx))
+		for _, i := range sampleIdx {
 			it := live[i]
 			if math.IsInf(it.Iv.Lo, -1) {
 				continue // demoted
@@ -429,9 +610,11 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 		coeffs, ok := lp.SolvePoly(cons, degree)
 		if !ok {
 			// The sampled system is rationally infeasible: demote the
-			// narrowest sampled constraint and retry.
+			// narrowest sampled constraint and retry. Scanning in sorted
+			// index order makes the tie-break (first narrowest wins)
+			// deterministic.
 			var narrow *workItem
-			for i := range sample {
+			for _, i := range sampleIdx {
 				it := live[i]
 				if math.IsInf(it.Iv.Lo, -1) {
 					continue
@@ -443,7 +626,8 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 			if narrow == nil {
 				return nil, fmt.Errorf("LP infeasible with empty sample")
 			}
-			if err := demote(narrow); err != nil {
+			var err error
+			if specialsBudget, err = demoteItem(cfg, res, narrow, specialsBudget); err != nil {
 				return nil, err
 			}
 			continue
@@ -457,7 +641,18 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 			return nil, err
 		}
 
-		// Check every constraint with the real instruction sequence.
+		// Check every constraint with the real instruction sequence. The
+		// evaluations are pure, so they shard across workers; the interval
+		// updates are applied serially afterwards, in constraint order, so
+		// demotion and shrink decisions are identical for any worker count.
+		parallelFor(cfg.Workers, len(live), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if math.IsInf(live[i].Iv.Lo, -1) {
+					continue
+				}
+				vals[i] = ev.Eval(live[i].R)
+			}
+		})
 		violations := 0
 		type viol struct {
 			i   int
@@ -468,7 +663,7 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 			if math.IsInf(it.Iv.Lo, -1) {
 				continue
 			}
-			v := ev.Eval(it.R)
+			v := vals[i]
 			if it.Iv.Contains(v) {
 				continue
 			}
@@ -481,7 +676,8 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 			amt /= math.Max(it.Iv.Hi-it.Iv.Lo, math.SmallestNonzeroFloat64)
 			it.Iv = interval.Constrain(it.Iv, v)
 			if it.Iv.Empty() {
-				if err := demote(it); err != nil {
+				var err error
+				if specialsBudget, err = demoteItem(cfg, res, it, specialsBudget); err != nil {
 					return nil, err
 				}
 				continue
@@ -514,4 +710,32 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 		cfg.logf("  iter %d: %d violations (sample %d)", iter, violations, len(sample))
 	}
 	return nil, fmt.Errorf("exceeded %d iterations at degree %d", cfg.MaxIters, degree)
+}
+
+// parallelFor splits [0, n) into one contiguous chunk per worker and runs
+// body on each concurrently, waiting for all of them. Small inputs run
+// inline: below a few thousand iterations the goroutine fan-out costs more
+// than it saves.
+func parallelFor(workers, n int, body func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2048 {
+		body(0, n)
+		return
+	}
+	per := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
