@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -23,9 +24,66 @@ import (
 	"rlibm/internal/core"
 	"rlibm/internal/fp"
 	"rlibm/internal/libm"
+	"rlibm/internal/obs"
 	"rlibm/internal/oracle"
 	"rlibm/internal/poly"
 )
+
+// benchReport is the machine-readable output of -out: per-scheme latencies,
+// relative speedups, and (with -gen) the generation wall-clock and oracle
+// cache behaviour.
+type benchReport struct {
+	Tool      string `json:"tool"`
+	CreatedAt string `json:"created_at"`
+	Git       string `json:"git,omitempty"`
+	Inputs    int    `json:"inputs,omitempty"`
+	Rounds    int    `json:"rounds,omitempty"`
+	Seed      int64  `json:"seed"`
+
+	// Functions maps function name -> scheme name -> best ns/op.
+	Functions map[string]map[string]float64 `json:"functions,omitempty"`
+	// AvgSpeedupPct maps scheme name -> average speedup over the Horner
+	// baseline, in percent (the paper's Table 2 quantity).
+	AvgSpeedupPct map[string]float64 `json:"avg_speedup_pct,omitempty"`
+
+	Gen *genBenchReport `json:"gen,omitempty"`
+}
+
+// genBenchReport is the -gen section: pipeline wall-clock serial vs
+// parallel, plus the oracle cache hit rate of the parallel run.
+type genBenchReport struct {
+	Bits          int     `json:"bits"`
+	Workers       int     `json:"workers"`
+	SerialMs      float64 `json:"serial_ms"`
+	ParallelMs    float64 `json:"parallel_ms"`
+	Speedup       float64 `json:"speedup"`
+	OracleHits    int64   `json:"oracle_hits"`
+	OracleMisses  int64   `json:"oracle_misses"`
+	OracleHitRate float64 `json:"oracle_hit_rate"`
+}
+
+// writeReport resolves -out ("auto" -> BENCH_<timestamp>.json) and writes
+// the report.
+func writeReport(path string, rep *benchReport) {
+	if path == "auto" {
+		path = time.Now().UTC().Format("BENCH_20060102T150405Z.json")
+	}
+	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
 
 func main() {
 	var (
@@ -35,13 +93,30 @@ func main() {
 		genBench = flag.Bool("gen", false, "benchmark the generation pipeline instead: core.Generate wall-clock serial vs -j workers")
 		genBits  = flag.Int("gen-bits", 18, "input format width for -gen")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the -gen parallel run")
+		outPath  = flag.String("out", "", "write a machine-readable JSON benchmark report to this file (\"auto\" = BENCH_<timestamp>.json)")
+		common   = obs.RegisterCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
+	ro, err := common.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer ro.Close()
+
+	rep := &benchReport{Tool: "rlibm-bench", Git: obs.GitDescribe(), Seed: *seed}
+
 	if *genBench {
-		benchGenerate(*genBits, *workers, *seed)
+		rep.Gen = benchGenerate(*genBits, *workers, *seed)
+		if *outPath != "" {
+			writeReport(*outPath, rep)
+		}
+		if err := ro.Close(); err != nil {
+			fatal(err)
+		}
 		return
 	}
+	rep.Inputs, rep.Rounds = *inputs, *rounds
 
 	fmt.Printf("rlibm-bench: %d inputs/function, best of %d rounds\n\n", *inputs, *rounds)
 
@@ -50,6 +125,7 @@ func main() {
 		ns   [4]float64
 	}
 	var rows []row
+	rep.Functions = map[string]map[string]float64{}
 	for _, f := range libm.Funcs {
 		sweep := makeSweep(f.Name, *inputs, *seed)
 		var r row
@@ -73,11 +149,17 @@ func main() {
 			}
 		}
 		rows = append(rows, r)
+		perScheme := map[string]float64{}
+		for si, s := range libm.Schemes {
+			perScheme[s.String()] = r.ns[si]
+		}
+		rep.Functions[f.Name] = perScheme
 		fmt.Printf("%-6s  rlibm %7.2f ns/op   knuth %7.2f   estrin %7.2f   estrin+fma %7.2f\n",
 			f.Name, r.ns[0], r.ns[1], r.ns[2], r.ns[3])
 	}
 
 	fmt.Println()
+	rep.AvgSpeedupPct = map[string]float64{}
 	names := []string{"RLIBM-Knuth", "RLIBM-Estrin", "RLIBM-Estrin-FMA"}
 	for si := 1; si <= 3; si++ {
 		fmt.Printf("Speedup of %s over RLIBM\n", names[si-1])
@@ -87,9 +169,21 @@ func main() {
 			sum += sp
 			fmt.Printf("%s: %.2f%%\n", r.name, sp)
 		}
-		fmt.Printf("Average speedup of %s over RLIBM: %.2f%%\n\n", names[si-1], sum/float64(len(rows)))
+		avg := sum / float64(len(rows))
+		rep.AvgSpeedupPct[libm.Schemes[si].String()] = avg
+		fmt.Printf("Average speedup of %s over RLIBM: %.2f%%\n\n", names[si-1], avg)
 	}
-	os.Exit(0)
+	if *outPath != "" {
+		writeReport(*outPath, rep)
+	}
+	if err := ro.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlibm-bench:", err)
+	os.Exit(1)
 }
 
 // benchGenerate times the offline generation pipeline — the quantity the
@@ -103,7 +197,7 @@ func main() {
 // bit — that is the determinism contract the sharded reduction buys. The
 // oracle cache is per-run, so the parallel run pays its own Ziv
 // escalations rather than reusing the serial run's.
-func benchGenerate(bits, workers int, seed int64) {
+func benchGenerate(bits, workers int, seed int64) *genBenchReport {
 	cfg := core.Config{
 		Fn:    oracle.Exp2,
 		Input: fp.Format{Bits: bits, ExpBits: 8},
@@ -144,6 +238,21 @@ func benchGenerate(bits, workers int, seed int64) {
 		}
 	}
 	fmt.Println("  coefficients bit-identical across worker counts: ok")
+	hits, misses := parallelRes[0].Stats.OracleHits, parallelRes[0].Stats.OracleMisses
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return &genBenchReport{
+		Bits:          bits,
+		Workers:       workers,
+		SerialMs:      serial.Seconds() * 1e3,
+		ParallelMs:    parallel.Seconds() * 1e3,
+		Speedup:       serial.Seconds() / parallel.Seconds(),
+		OracleHits:    hits,
+		OracleMisses:  misses,
+		OracleHitRate: rate,
+	}
 }
 
 // makeSweep draws inputs spanning the function's interesting domain: the

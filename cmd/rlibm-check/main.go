@@ -22,8 +22,10 @@ import (
 	"sync"
 	"time"
 
+	"rlibm/internal/core"
 	"rlibm/internal/fp"
 	"rlibm/internal/libm"
+	"rlibm/internal/obs"
 	"rlibm/internal/oracle"
 )
 
@@ -38,6 +40,7 @@ func main() {
 		useFuncs   = flag.Bool("funcs", false, "check the straight-line function backend instead of the data-driven one")
 		maxWrong   = flag.Int("max-wrong", 0, "exit zero if at most this many wrong results are found (the shipped stride-trained polynomials have a documented ~3e-5 single-ulp residual at 32 bits; see DESIGN.md)")
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines sharding the sweep (the oracle dominates; the report is identical for every value)")
+		common     = obs.RegisterCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -51,6 +54,17 @@ func main() {
 		widthList = append(widthList, w)
 	}
 
+	ro, err := common.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer ro.Close()
+	var report *core.RunReport
+	if common.ReportPath != "" {
+		report = core.NewRunReport("rlibm-check")
+		flag.Visit(func(f *flag.Flag) { report.Config[f.Name] = f.Value.String() })
+	}
+
 	totalWrong := 0
 	for _, f := range libm.Funcs {
 		if *fnFlag != "all" && *fnFlag != f.Name {
@@ -58,8 +72,7 @@ func main() {
 		}
 		ofn, err := oracle.ParseFunc(f.Name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rlibm-check:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		for _, s := range libm.Schemes {
 			if *schemeFlag != "all" && *schemeFlag != s.String() {
@@ -70,19 +83,40 @@ func main() {
 				gen := libm.GeneratedFuncs[f.Name+"/"+s.String()]
 				impl = func(x float32, _ libm.Scheme) float64 { return gen(float64(x)) }
 			}
+			sp := ro.Tracer.StartSpan("check", obs.Attrs{"fn": f.Name, "scheme": s.String()})
 			checked, wrong, first := checkOne(ofn, impl, s, *stride, *random, widthList, *seed, *workers)
+			sp.End(obs.Attrs{"checked": checked, "wrong": wrong})
 			status := "OK"
 			if wrong > 0 {
 				status = "WRONG: " + first
 			}
-			fmt.Printf("%-6s %-18s checked %9d  wrong results: %d (%s)\n",
-				f.Name, s, checked, wrong, status)
+			if ro.Log.Enabled(obs.LevelInfo) {
+				fmt.Printf("%-6s %-18s checked %9d  wrong results: %d (%s)\n",
+					f.Name, s, checked, wrong, status)
+			}
+			if report != nil {
+				report.AddCheck(f.Name, s.String(), checked, wrong, first)
+			}
 			totalWrong += wrong
 		}
+	}
+	if report != nil {
+		report.AttachMetrics(obs.Default())
+		if err := report.WriteFile(common.ReportPath); err != nil {
+			fatal(err)
+		}
+	}
+	if err := ro.Close(); err != nil {
+		fatal(err)
 	}
 	if totalWrong > *maxWrong {
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlibm-check:", err)
+	os.Exit(1)
 }
 
 // checkOne sweeps one implementation variant, sharded across workers. The

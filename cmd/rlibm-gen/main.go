@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	rlibm-gen [-func all|exp|exp2|exp10|log|log2|log10|sinpi|cospi]
-//	          [-scheme all|horner|knuth|estrin|estrin-fma]
+//	rlibm-gen [-func all|exp|exp2,log2|...] [-scheme all|horner|knuth|estrin|estrin-fma]
 //	          [-bits 32] [-expbits 8] [-stride 4096] [-seed 1] [-j 8]
-//	          [-emit libmdata.go] [-table1] [-v]
+//	          [-emit libmdata.go] [-table1]
+//	          [-v|-q] [-trace trace.jsonl] [-report report.json]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
 //
 //	rlibm-gen -func log2 -scheme estrin-fma -bits 20 -stride 1
 //	rlibm-gen -func all -scheme all -bits 32 -stride 4096 -emit internal/libm/zz_generated_data.go
+//	rlibm-gen -func exp2,log2 -bits 14 -report run.json -trace trace.jsonl
 //	rlibm-gen -table1 -bits 24 -stride 16
 package main
 
@@ -21,17 +23,20 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"rlibm/internal/core"
 	"rlibm/internal/fp"
+	"rlibm/internal/obs"
 	"rlibm/internal/oracle"
 	"rlibm/internal/poly"
 )
 
 func main() {
 	var (
-		fnFlag     = flag.String("func", "all", "function to generate (all = the six paper functions; or one of exp, exp2, exp10, log, log2, log10, sinpi, cospi)")
+		fnFlag     = flag.String("func", "all", "comma-separated functions to generate (all = the six paper functions; names: exp, exp2, exp10, log, log2, log10, sinpi, cospi)")
 		schemeFlag = flag.String("scheme", "all", "evaluation scheme (all or one of horner, knuth, estrin, estrin-fma)")
 		bits       = flag.Int("bits", 32, "input format width in bits")
 		expBits    = flag.Int("expbits", 8, "input format exponent width")
@@ -42,7 +47,7 @@ func main() {
 		pieces     = flag.Int("pieces", 0, "piecewise pieces (0 = per-function default)")
 		emit       = flag.String("emit", "", "write the internal/libm Go data file to this path")
 		table1     = flag.Bool("table1", false, "print a Table-1-style summary")
-		verbose    = flag.Bool("v", false, "log pipeline progress")
+		common     = obs.RegisterCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -53,11 +58,14 @@ func main() {
 
 	fns := oracle.Funcs
 	if *fnFlag != "all" {
-		fn, err := oracle.ParseFunc(*fnFlag)
-		if err != nil {
-			fatal(err)
+		fns = nil
+		for _, name := range strings.Split(*fnFlag, ",") {
+			fn, err := oracle.ParseFunc(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			fns = append(fns, fn)
 		}
-		fns = []oracle.Func{fn}
 	}
 	schemes := poly.PaperSchemes
 	if *schemeFlag != "all" {
@@ -68,6 +76,22 @@ func main() {
 		schemes = []poly.Scheme{s}
 	}
 
+	ro, err := common.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer ro.Close()
+
+	reg := obs.NewRegistry()
+	var report *core.RunReport
+	if common.ReportPath != "" {
+		report = core.NewRunReport("rlibm-gen")
+		flag.Visit(func(f *flag.Flag) { report.Config[f.Name] = f.Value.String() })
+		report.Config["func"] = *fnFlag
+		report.Config["bits"] = strconv.Itoa(*bits)
+	}
+
+	failed := false
 	var results []*core.Result
 	for _, fn := range fns {
 		cfg := core.Config{
@@ -78,22 +102,36 @@ func main() {
 			Degree:  *degree,
 			Pieces:  *pieces,
 			Workers: *workers,
-		}
-		if *verbose {
-			cfg.Log = os.Stderr
+			Logger:  ro.Log,
+			Metrics: reg,
+			Trace:   ro.Tracer,
 		}
 		start := time.Now()
 		rs, err := core.GenerateAll(cfg, schemes)
 		if err != nil {
-			fatal(fmt.Errorf("%v: %w", fn, err))
+			// With a report requested the run keeps going: the report marks
+			// the failed schemes solved:false and the exit status is nonzero,
+			// so CI sees both the failure and everything else that happened.
+			if report == nil {
+				fatal(fmt.Errorf("%v: %w", fn, err))
+			}
+			ro.Log.Infof("%v: FAILED: %v", fn, err)
+			for _, scheme := range schemes {
+				report.AddFailure(fn.String(), scheme.String(), err)
+			}
+			failed = true
+			continue
 		}
-		fmt.Fprintf(os.Stderr, "%v: all schemes done in %v\n", fn, time.Since(start).Round(time.Millisecond))
+		ro.Log.Infof("%v: all schemes done in %v", fn, time.Since(start).Round(time.Millisecond))
 		for _, res := range rs {
-			fmt.Fprintf(os.Stderr, "  generated %s (%d constraints, %d LP solves, %d iterations, collect %v, solve %v, oracle cache %d hits / %d misses)\n",
-				res.Describe(), res.Stats.Constraints, res.Stats.LPSolves, res.Stats.Iterations,
+			ro.Log.Infof("  generated %s (%d constraints, %d LP solves, %d pivots, %d iterations, collect %v, solve %v, oracle cache %d hits / %d misses)",
+				res.Describe(), res.Stats.Constraints, res.Stats.LPSolves, res.Stats.LPPivots, res.Stats.Iterations,
 				res.Stats.CollectTime.Round(time.Millisecond), res.Stats.SolveTime.Round(time.Millisecond),
 				res.Stats.OracleHits, res.Stats.OracleMisses)
 			results = append(results, res)
+			if report != nil {
+				report.AddResult(res)
+			}
 			if *emit == "" && !*table1 {
 				printResult(res)
 			}
@@ -114,7 +152,20 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *emit)
+		ro.Log.Infof("wrote %s", *emit)
+	}
+	if report != nil {
+		report.AttachMetrics(reg, obs.Default())
+		if err := report.WriteFile(common.ReportPath); err != nil {
+			fatal(err)
+		}
+		ro.Log.Infof("wrote %s", common.ReportPath)
+	}
+	if err := ro.Close(); err != nil {
+		fatal(err)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -21,13 +21,12 @@
 package core
 
 import (
-	"fmt"
 	"io"
 	"math"
 	"runtime"
-	"sync"
 
 	"rlibm/internal/fp"
+	"rlibm/internal/obs"
 	"rlibm/internal/oracle"
 	"rlibm/internal/poly"
 )
@@ -72,16 +71,32 @@ type Config struct {
 	// count: the parallel phases reduce their outputs in a sorted,
 	// shard-independent order.
 	Workers int
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Deprecated in favour of
+	// Logger: when Logger is nil and Log is set, a debug-level logger
+	// wrapping Log is installed, preserving the old "everything or nothing"
+	// behaviour.
 	Log io.Writer
+	// Logger, when non-nil, receives leveled progress lines: per-run
+	// summaries at Info, inner-loop detail at Debug. Nil (with Log nil)
+	// silences the pipeline.
+	Logger *obs.Logger
+	// Metrics, when non-nil, is the registry the pipeline records its
+	// counters, gauges and histograms into; nil selects a fresh per-run
+	// registry, so repeated runs never accumulate into each other (which
+	// also keeps the Stats view per-run). Pass a shared registry (e.g.
+	// obs.Default()) to consolidate several runs into one report.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives span-style structured events (JSONL):
+	// collection and solve phases, per-iteration spans, constrain/demote
+	// events. Tracing is write-only instrumentation — enabling it cannot
+	// change the generated coefficients.
+	Trace *obs.Tracer
 
 	// cache memoizes oracle queries across the whole run — the aligned pass,
 	// domain-cut neighbourhoods, demotions and multi-scheme GenerateAll all
 	// re-ask for inputs the stride sweep already paid the Ziv escalation for.
 	// Shared by pointer across the per-scheme Config copies.
 	cache *oracle.Cache
-	// logMu serializes Log writes from concurrent schemes and workers.
-	logMu *sync.Mutex
 }
 
 func (c *Config) setDefaults() error {
@@ -130,8 +145,11 @@ func (c *Config) setDefaults() error {
 	if c.cache == nil {
 		c.cache = oracle.NewCache(0)
 	}
-	if c.logMu == nil {
-		c.logMu = &sync.Mutex{}
+	if c.Logger == nil && c.Log != nil {
+		c.Logger = obs.NewLogger(c.Log, obs.LevelDebug)
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	return nil
 }
@@ -164,15 +182,9 @@ var defaultPieces = map[oracle.Func]int{
 	oracle.Cospi: 16,
 }
 
+// logf emits inner-loop detail at debug level (shown with the CLIs' -v).
 func (c *Config) logf(format string, args ...any) {
-	if c.Log == nil {
-		return
-	}
-	if c.logMu != nil {
-		c.logMu.Lock()
-		defer c.logMu.Unlock()
-	}
-	fmt.Fprintf(c.Log, format+"\n", args...)
+	c.Logger.Debugf(format, args...)
 }
 
 // Domain describes the input region handled by the polynomial path of an

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rlibm/internal/poly"
+)
+
+// TestHexFRoundTrip: every emitted coefficient literal must parse back to
+// the identical bit pattern — the emitted data file IS the library, so a
+// lossy literal would silently change results.
+func TestHexFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := []float64{0, math.Copysign(0, -1), 1, -1, 0.1, math.SmallestNonzeroFloat64,
+		-math.SmallestNonzeroFloat64, math.MaxFloat64, -math.MaxFloat64, math.Pi}
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, math.Float64frombits(rng.Uint64()))
+	}
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue // rendered as math.NaN()/math.Inf(), not literals
+		}
+		s := hexF(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("hexF(%g) = %q does not parse: %v", v, s, err)
+		}
+		if math.Float64bits(back) != math.Float64bits(v) {
+			t.Fatalf("hexF(%g) = %q parses to %g (bits %x vs %x)",
+				v, s, back, math.Float64bits(back), math.Float64bits(v))
+		}
+	}
+}
+
+// TestEmitLibmDataReparses: the emitted Go source must be syntactically
+// valid (go/parser accepts it) and structurally complete — one funcData var
+// per function — and every float literal in it must be an exact hex literal.
+func TestEmitLibmDataReparses(t *testing.T) {
+	results := allTinyResults(t)
+	var sb strings.Builder
+	if err := EmitLibmData(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	src := sb.String()
+
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "zz_generated_data.go", src, parser.AllErrors)
+	if err != nil {
+		t.Fatalf("emitted source does not parse: %v", err)
+	}
+	if file.Name.Name != "libm" {
+		t.Errorf("emitted package %q, want libm", file.Name.Name)
+	}
+
+	// One top-level var per function, named <fn>Data.
+	vars := map[string]bool{}
+	floatLits := 0
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			for _, name := range d.Names {
+				vars[name.Name] = true
+			}
+		case *ast.BasicLit:
+			if d.Kind == token.FLOAT {
+				floatLits++
+				if !strings.HasPrefix(strings.TrimPrefix(d.Value, "-"), "0x") {
+					t.Errorf("non-hex float literal %q in emitted source", d.Value)
+				}
+			}
+		}
+		return true
+	})
+	for _, want := range []string{"expData", "exp2Data", "exp10Data", "logData", "log2Data", "log10Data"} {
+		if !vars[want] {
+			t.Errorf("emitted source lacks var %s", want)
+		}
+	}
+	// 24 implementations with at least one piece each: the literal count
+	// must at least cover every coefficient of every result.
+	wantCoeffs := 0
+	for _, r := range results {
+		for _, p := range r.Pieces {
+			wantCoeffs += len(p.Coeffs)
+		}
+	}
+	if floatLits < wantCoeffs {
+		t.Errorf("%d float literals in emitted source, want >= %d coefficients", floatLits, wantCoeffs)
+	}
+}
+
+// TestPrintTable1MatchesResults: every Table-1 cell must agree with the
+// result it summarizes — piece count, per-piece degrees, special count — in
+// the paper's column order.
+func TestPrintTable1MatchesResults(t *testing.T) {
+	results := allTinyResults(t)
+	byKey := map[string]*Result{}
+	for _, r := range results {
+		byKey[r.Fn.String()+"/"+r.Scheme.String()] = r
+	}
+
+	var sb strings.Builder
+	PrintTable1(&sb, results)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+
+	rows := map[string][]string{}
+	for _, line := range lines[3:] { // skip the two header lines + rule
+		cells := strings.Split(line, "|")
+		if len(cells) != 5 {
+			t.Fatalf("table row has %d cells: %q", len(cells), line)
+		}
+		rows[strings.TrimSpace(cells[0])] = cells[1:]
+	}
+	for key, r := range byKey {
+		fn := r.Fn.String()
+		cells, ok := rows[fn]
+		if !ok {
+			t.Fatalf("no table row for %s", fn)
+		}
+		slot, ok := schemeSlot(r.Scheme)
+		if !ok {
+			t.Fatalf("no slot for %v", r.Scheme)
+		}
+		degs := make([]string, len(r.Pieces))
+		for i, p := range r.Pieces {
+			degs[i] = fmt.Sprintf("%d", p.Coeffs.Trim().Degree())
+		}
+		want := fmt.Sprintf("%-2d %-8s %d", len(r.Pieces), strings.Join(degs, ","), len(r.Specials))
+		if got := strings.TrimSpace(cells[slot]); got != strings.TrimSpace(want) {
+			t.Errorf("%s: table cell %q, want %q", key, got, want)
+		}
+	}
+	// The scheme column order must match poly.PaperSchemes.
+	if poly.PaperSchemes[0] != poly.Horner {
+		t.Fatal("PaperSchemes order changed; table columns no longer line up")
+	}
+}

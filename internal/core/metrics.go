@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"rlibm/internal/lp"
+	"rlibm/internal/obs"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+// schemeMetrics holds one scheme run's instrument handles. The pipeline
+// increments these — not Stats fields — during the generate–check–constrain
+// loop; Stats is populated from the handles when the run finishes, making it
+// a thin view over the registry. Handles are pre-resolved because the name
+// lookup takes the registry mutex and the loop is hot.
+//
+// Names are prefixed "core/<fn>/<scheme>/" so the concurrent scheme loops of
+// GenerateAll never share an instrument.
+type schemeMetrics struct {
+	iterations      *obs.Counter
+	lpSolves        *obs.Counter
+	constrainEvents *obs.Counter
+	demotedSources  *obs.Counter
+
+	lpPivots       *obs.Counter // total simplex pivots, both phases
+	lpPivotsPhase1 *obs.Counter
+	lpPivotsPhase2 *obs.Counter
+	lpPerSolve     *obs.Histogram // pivots per LP solve
+	lpTime         *obs.Histogram // wall-clock per LP solve (ns)
+	lpRowsMax      *obs.Gauge     // largest tableau seen
+	lpColsMax      *obs.Gauge
+	checkTime      *obs.Histogram // wall-clock per full-constraint check (ns)
+	solveTime      *obs.Gauge     // this scheme's whole solve loop (ns)
+
+	reg    *obs.Registry
+	prefix string
+
+	// Registry values at the start of this run. Stats is a per-run view, but
+	// a caller-supplied registry (Config.Metrics) outlives runs and its
+	// counters are monotonic, so fillStats reports deltas from these.
+	baseIter, baseLP, baseConstrain, basePivots int64
+}
+
+func newSchemeMetrics(reg *obs.Registry, fn oracle.Func, scheme poly.Scheme) *schemeMetrics {
+	p := "core/" + fn.String() + "/" + scheme.String() + "/"
+	return &schemeMetrics{
+		iterations:      reg.Counter(p + "iterations"),
+		lpSolves:        reg.Counter(p + "lp_solves"),
+		constrainEvents: reg.Counter(p + "constrain_events"),
+		demotedSources:  reg.Counter(p + "demoted_sources"),
+		lpPivots:        reg.Counter(p + "lp_pivots"),
+		lpPivotsPhase1:  reg.Counter(p + "lp_pivots_phase1"),
+		lpPivotsPhase2:  reg.Counter(p + "lp_pivots_phase2"),
+		lpPerSolve:      reg.Histogram(p + "lp_pivots_per_solve"),
+		lpTime:          reg.Histogram(p + "lp_solve_time_ns"),
+		lpRowsMax:       reg.Gauge(p + "lp_rows_max"),
+		lpColsMax:       reg.Gauge(p + "lp_cols_max"),
+		checkTime:       reg.Histogram(p + "check_time_ns"),
+		solveTime:       reg.Gauge(p + "solve_time_ns"),
+		reg:             reg,
+		prefix:          p,
+	}
+}
+
+// snapshotBase records the current counter values; fillStats later reports
+// deltas from here so repeated runs into one shared registry never leak
+// across Stats views.
+func (m *schemeMetrics) snapshotBase() *schemeMetrics {
+	m.baseIter = m.iterations.Value()
+	m.baseLP = m.lpSolves.Value()
+	m.baseConstrain = m.constrainEvents.Value()
+	m.basePivots = m.lpPivots.Value()
+	return m
+}
+
+// isPivotLimit reports whether an LP error is the degenerate-cycling guard
+// (the one solve failure that aborts a degree attempt instead of demoting).
+func isPivotLimit(err error) bool {
+	var pl *lp.PivotLimitError
+	return errors.As(err, &pl)
+}
+
+// observeLP records one LP solve outcome: stats always, the infeasibility
+// cause (the cold path) by name when the solve failed.
+func (m *schemeMetrics) observeLP(st lp.Stats, dur time.Duration, err error) {
+	m.lpPivots.Add(int64(st.Pivots()))
+	m.lpPivotsPhase1.Add(int64(st.Phase1Pivots))
+	m.lpPivotsPhase2.Add(int64(st.Phase2Pivots))
+	m.lpPerSolve.Observe(int64(st.Pivots()))
+	m.lpTime.ObserveDuration(dur)
+	m.lpRowsMax.SetMax(int64(st.Rows))
+	m.lpColsMax.SetMax(int64(st.Cols))
+	if cause := lp.InfeasibilityCause(err); cause != "" {
+		m.reg.Counter(m.prefix + "lp_" + cause).Inc()
+	}
+}
+
+// fillStats populates the Stats view from the registry handles (deltas from
+// the snapshotBase values).
+func (m *schemeMetrics) fillStats(s *Stats) {
+	s.Iterations = int(m.iterations.Value() - m.baseIter)
+	s.LPSolves = int(m.lpSolves.Value() - m.baseLP)
+	s.ConstrainEvents = int(m.constrainEvents.Value() - m.baseConstrain)
+	s.LPPivots = m.lpPivots.Value() - m.basePivots
+}

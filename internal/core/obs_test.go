@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/obs"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+// TestObservabilityDoesNotPerturbGeneration is the write-only guarantee of
+// the observability layer: turning on every instrument at once — metrics
+// registry, JSONL tracer, debug logger, parallel workers — must leave the
+// generated coefficients, specials, and constraint counts bit-for-bit
+// identical to a bare run.
+func TestObservabilityDoesNotPerturbGeneration(t *testing.T) {
+	in := fp.Format{Bits: 12, ExpBits: 8}
+	bare, err := Generate(Config{Fn: oracle.Exp2, Scheme: poly.EstrinFMA, Input: in, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var traceBuf bytes.Buffer
+	traced, err := Generate(Config{
+		Fn: oracle.Exp2, Scheme: poly.EstrinFMA, Input: in, Seed: 11, Workers: 4,
+		Metrics: obs.NewRegistry(),
+		Trace:   obs.NewTracer(&traceBuf),
+		Logger:  obs.NewLogger(io.Discard, obs.LevelDebug),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "traced", bare, traced)
+
+	// The trace must be non-empty, valid JSONL, and carry the phase spans.
+	events := map[string]int{}
+	sc := bufio.NewScanner(&traceBuf)
+	for sc.Scan() {
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		events[ev.Ev]++
+	}
+	for _, want := range []string{"collect", "collect.shards", "scheme.solve", "iteration"} {
+		if events[want] == 0 {
+			t.Errorf("trace has no %q events (got %v)", want, events)
+		}
+	}
+}
+
+// TestStatsViewFromRegistry: the Stats loop counters are deltas of the
+// run's registry instruments, and per-run isolation holds even when two
+// runs share one registry.
+func TestStatsViewFromRegistry(t *testing.T) {
+	in := fp.Format{Bits: 12, ExpBits: 8}
+	reg := obs.NewRegistry()
+	cfg := Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: in, Seed: 11, Workers: 1, Metrics: reg}
+	first, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.LPSolves == 0 || first.Stats.Iterations == 0 {
+		t.Fatalf("stats view empty: %+v", first.Stats)
+	}
+	if first.Stats.LPPivots == 0 {
+		t.Fatal("no LP pivots recorded")
+	}
+	snap := reg.Snapshot()
+	p := "core/exp2/horner/"
+	if got := snap.Counters[p+"lp_solves"]; got != int64(first.Stats.LPSolves) {
+		t.Errorf("registry lp_solves = %d, Stats view = %d", got, first.Stats.LPSolves)
+	}
+	if got := snap.Counters[p+"lp_pivots"]; got != first.Stats.LPPivots {
+		t.Errorf("registry lp_pivots = %d, Stats view = %d", got, first.Stats.LPPivots)
+	}
+	if snap.Histograms[p+"lp_solve_time_ns"].Count != int64(first.Stats.LPSolves) {
+		t.Errorf("lp_solve_time_ns count %d, want %d",
+			snap.Histograms[p+"lp_solve_time_ns"].Count, first.Stats.LPSolves)
+	}
+
+	// Second run into the SAME registry: registry counters accumulate, the
+	// Stats view stays per-run.
+	second, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.LPSolves != first.Stats.LPSolves {
+		t.Errorf("per-run Stats leaked across runs: %d vs %d", second.Stats.LPSolves, first.Stats.LPSolves)
+	}
+	if got := reg.Snapshot().Counters[p+"lp_solves"]; got != 2*int64(first.Stats.LPSolves) {
+		t.Errorf("shared registry lp_solves = %d, want %d", got, 2*first.Stats.LPSolves)
+	}
+}
+
+// TestRunReport: the -report payload carries per-scheme phase times, LP
+// pivot totals and the oracle's Ziv escalation histograms for every
+// generated function, and survives a JSON round-trip.
+func TestRunReport(t *testing.T) {
+	in := fp.Format{Bits: 12, ExpBits: 8}
+	reg := obs.NewRegistry()
+	rep := NewRunReport("core-test")
+	rep.Config["bits"] = "12"
+	for _, fn := range []oracle.Func{oracle.Exp2, oracle.Log2} {
+		res, err := Generate(Config{Fn: fn, Scheme: poly.Horner, Input: in, Seed: 11, Workers: 1, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.AddResult(res)
+	}
+	rep.AttachMetrics(reg, obs.Default())
+	if !rep.Solved() {
+		t.Fatal("all schemes solved but Solved() = false")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Tool != "core-test" || back.CreatedAt == "" || back.Config["bits"] != "12" {
+		t.Errorf("header mangled: %+v", back)
+	}
+	if len(back.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(back.Results))
+	}
+	for _, sr := range back.Results {
+		if !sr.Solved || sr.Error != "" {
+			t.Errorf("%s/%s not marked solved", sr.Fn, sr.Scheme)
+		}
+		if sr.CollectMs <= 0 || sr.SolveMs <= 0 {
+			t.Errorf("%s: phase times missing: collect=%v solve=%v", sr.Fn, sr.CollectMs, sr.SolveMs)
+		}
+		if sr.LPPivots == 0 || sr.LPSolves == 0 {
+			t.Errorf("%s: LP totals missing: pivots=%d solves=%d", sr.Fn, sr.LPPivots, sr.LPSolves)
+		}
+		if len(sr.Degrees) != sr.Pieces {
+			t.Errorf("%s: %d degrees for %d pieces", sr.Fn, len(sr.Degrees), sr.Pieces)
+		}
+	}
+	for _, fn := range []string{"exp2", "log2"} {
+		h, ok := back.Metrics.Histograms["oracle/"+fn+"/ziv_depth"]
+		if !ok || h.Count == 0 {
+			t.Errorf("report lacks oracle/%s/ziv_depth escalation histogram (ok=%v count=%d)", fn, ok, h.Count)
+		}
+		if back.Metrics.Counters["core/"+fn+"/horner/lp_solves"] == 0 {
+			t.Errorf("report lacks core/%s/horner/lp_solves", fn)
+		}
+	}
+
+	// A failure flips Solved() — this is what CI keys off.
+	rep.AddFailure("exp", "horner", io.ErrUnexpectedEOF)
+	if rep.Solved() {
+		t.Error("Solved() must be false after AddFailure")
+	}
+	if (&RunReport{}).Solved() {
+		t.Error("empty report must not count as solved")
+	}
+	if !strings.Contains(rep.Results[len(rep.Results)-1].Error, "EOF") {
+		t.Error("failure cause not recorded")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"rlibm/internal/fp"
 	"rlibm/internal/interval"
 	"rlibm/internal/lp"
+	"rlibm/internal/obs"
 	"rlibm/internal/oracle"
 	"rlibm/internal/poly"
 	"rlibm/internal/rangered"
@@ -38,13 +39,17 @@ type Piece struct {
 	Eval *poly.Evaluator
 }
 
-// Stats records how the generation run went.
+// Stats records how the generation run went. The loop counters (LPSolves,
+// Iterations, ConstrainEvents, LPPivots) are a view over the run's metrics
+// registry (Config.Metrics): the pipeline increments registry handles and
+// copies the per-run deltas here when the scheme finishes.
 type Stats struct {
 	Inputs          int // enumerated polynomial-path inputs (deduplicated)
 	Constraints     int // merged reduced constraints
 	LPSolves        int
 	Iterations      int
-	ConstrainEvents int // intervals shrunk by the check step
+	ConstrainEvents int   // intervals shrunk by the check step
+	LPPivots        int64 // total simplex pivots across every LP solve
 
 	// CollectTime is the wall-clock of the shared oracle/interval collection
 	// pass; SolveTime is the wall-clock of this scheme's generate–check–
@@ -99,11 +104,17 @@ func GenerateAll(cfg Config, schemes []poly.Scheme) ([]*Result, error) {
 
 	collectStart := time.Now()
 	preSpecials := map[uint64]float64{}
+	csp := cfg.Trace.StartSpan("collect", obs.Attrs{"fn": cfg.Fn.String(), "workers": cfg.Workers})
 	work, stats, err := collect(&cfg, red, dom, preSpecials)
 	if err != nil {
+		csp.End(obs.Attrs{"error": err.Error()})
 		return nil, err
 	}
 	stats.CollectTime = time.Since(collectStart)
+	csp.End(obs.Attrs{
+		"inputs": stats.Inputs, "constraints": len(work), "pre_specials": len(preSpecials),
+	})
+	cfg.Metrics.Gauge("core/" + cfg.Fn.String() + "/collect_time_ns").Set(int64(stats.CollectTime))
 	cfg.logf("%v: %d constraints, %d pre-specials (collected in %v, %d workers)",
 		cfg.Fn, len(work), len(preSpecials), stats.CollectTime.Round(time.Millisecond), cfg.Workers)
 
@@ -147,6 +158,10 @@ func generateScheme(cfg Config, scheme poly.Scheme, work []*workItem,
 	preSpecials map[uint64]float64, dom Domain, red rangered.Reduction, stats Stats) (*Result, error) {
 
 	start := time.Now()
+	m := newSchemeMetrics(cfg.Metrics, cfg.Fn, scheme).snapshotBase()
+	ssp := cfg.Trace.StartSpan("scheme.solve", obs.Attrs{
+		"fn": cfg.Fn.String(), "scheme": scheme.String(),
+	})
 	res := &Result{
 		Fn:       cfg.Fn,
 		Scheme:   scheme,
@@ -168,14 +183,22 @@ func generateScheme(cfg Config, scheme poly.Scheme, work []*workItem,
 	}
 	rng := rand.New(rand.NewSource(scfg.Seed + int64(scfg.Fn)<<8 + int64(scheme)))
 	for _, chunk := range chunks {
-		piece, err := solvePiece(&scfg, chunk, rng, res)
+		piece, err := solvePiece(&scfg, chunk, rng, res, m)
 		if err != nil {
+			ssp.End(obs.Attrs{"error": err.Error()})
 			return nil, fmt.Errorf("%v/%v: %w", scfg.Fn, scheme, err)
 		}
 		res.Pieces = append(res.Pieces, *piece)
 	}
 	sort.Slice(res.Pieces, func(i, j int) bool { return res.Pieces[i].Lo < res.Pieces[j].Lo })
 	res.Stats.SolveTime = time.Since(start)
+	m.solveTime.Set(int64(res.Stats.SolveTime))
+	m.fillStats(&res.Stats)
+	ssp.End(obs.Attrs{
+		"pieces": len(res.Pieces), "specials": len(res.Specials),
+		"iterations": res.Stats.Iterations, "lp_solves": res.Stats.LPSolves,
+		"lp_pivots": res.Stats.LPPivots,
+	})
 	return res, nil
 }
 
@@ -274,6 +297,19 @@ func collect(cfg *Config, red rangered.Reduction, dom Domain, specials map[uint6
 		}
 		wg.Wait()
 	}
+
+	// Worker shard utilization: with interleaved enumeration the shards
+	// should be near-equal; a skewed histogram means the sharding is wasting
+	// workers on filtered regions.
+	shardHist := cfg.Metrics.Histogram("core/" + cfg.Fn.String() + "/collect_shard_candidates")
+	shardCounts := make([]int, len(shards))
+	for i := range shards {
+		shardCounts[i] = len(shards[i].cands)
+		shardHist.Observe(int64(shardCounts[i]))
+	}
+	cfg.Trace.Event("collect.shards", obs.Attrs{
+		"fn": cfg.Fn.String(), "workers": workers, "candidates": shardCounts,
+	})
 
 	// Deterministic reduction at the barrier: concatenate, sort by (reduced
 	// input, source input), then merge each reduced-input group in sorted
@@ -491,17 +527,21 @@ func splitByValue(work []*workItem, pieces int) [][]*workItem {
 
 // solvePiece runs Algorithm 2 on one sub-domain, escalating the degree when
 // the iteration budget runs out.
-func solvePiece(cfg *Config, work []*workItem, rng *rand.Rand, res *Result) (*Piece, error) {
+func solvePiece(cfg *Config, work []*workItem, rng *rand.Rand, res *Result, m *schemeMetrics) (*Piece, error) {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, it := range work {
 		lo = math.Min(lo, it.R)
 		hi = math.Max(hi, it.R)
 	}
 	for degree := cfg.Degree; degree <= cfg.DegreeMax; degree++ {
-		ev, err := adaptLoop(cfg, work, degree, rng, res)
+		ev, err := adaptLoop(cfg, work, degree, rng, res, m)
 		if err == nil {
 			return &Piece{Lo: lo, Hi: hi, Coeffs: ev.Coeffs, Eval: ev}, nil
 		}
+		cfg.Trace.Event("degree.failed", obs.Attrs{
+			"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
+			"degree": degree, "error": err.Error(),
+		})
 		cfg.logf("  degree %d failed: %v", degree, err)
 	}
 	return nil, fmt.Errorf("no polynomial up to degree %d satisfies the %d constraints", cfg.DegreeMax, len(work))
@@ -531,7 +571,7 @@ func demoteItem(cfg *Config, res *Result, it *workItem, budget int) (int, error)
 // adaptLoop is Algorithm 2: LP-solve on a sample, adapt for the scheme,
 // validate everything with the real float64 evaluation, constrain violated
 // intervals, repeat.
-func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *Result) (*poly.Evaluator, error) {
+func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *Result, m *schemeMetrics) (*poly.Evaluator, error) {
 	// Work on copies of the intervals: interval shrinking is per (degree,
 	// scheme) attempt.
 	items := make([]workItem, len(work))
@@ -581,7 +621,11 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 	vals := make([]float64, len(live))
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		res.Stats.Iterations++
+		m.iterations.Inc()
+		isp := cfg.Trace.StartSpan("iteration", obs.Attrs{
+			"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
+			"degree": degree, "iter": iter, "live": len(live),
+		})
 		// The sample is a map for O(1) dedup, but LP constraint order decides
 		// the Bland's-rule pivot sequence — and with it the exact solution
 		// vertex. Go randomizes map iteration order, so feeding the simplex
@@ -606,11 +650,21 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 				Hi: new(big.Rat).SetFloat64(it.Iv.Hi),
 			})
 		}
-		res.Stats.LPSolves++
-		coeffs, ok := lp.SolvePoly(cons, degree)
-		if !ok {
-			// The sampled system is rationally infeasible: demote the
-			// narrowest sampled constraint and retry. Scanning in sorted
+		m.lpSolves.Inc()
+		lpStart := time.Now()
+		coeffs, lpStats, lpErr := lp.SolvePolyStats(cons, degree, 0)
+		lpDur := time.Since(lpStart)
+		m.observeLP(lpStats, lpDur, lpErr)
+		if isPivotLimit(lpErr) {
+			// Cycling guard tripped — nothing useful can come from demoting
+			// constraints, so abort this degree attempt with the cause.
+			isp.End(obs.Attrs{"lp": "pivot-limit", "error": lpErr.Error()})
+			return nil, fmt.Errorf("LP solve aborted: %w", lpErr)
+		}
+		if lpErr != nil {
+			// The sampled system is rationally infeasible (or unbounded, which
+			// the sampled box constraints only produce degenerately): demote
+			// the narrowest sampled constraint and retry. Scanning in sorted
 			// index order makes the tie-break (first narrowest wins)
 			// deterministic.
 			var narrow *workItem
@@ -624,12 +678,26 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 				}
 			}
 			if narrow == nil {
+				isp.End(obs.Attrs{"lp": lp.InfeasibilityCause(lpErr), "error": "empty sample"})
 				return nil, fmt.Errorf("LP infeasible with empty sample")
 			}
+			before := specialsBudget
 			var err error
-			if specialsBudget, err = demoteItem(cfg, res, narrow, specialsBudget); err != nil {
+			specialsBudget, err = demoteItem(cfg, res, narrow, specialsBudget)
+			m.demotedSources.Add(int64(before - specialsBudget))
+			cfg.Trace.Event("demote", obs.Attrs{
+				"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
+				"degree": degree, "iter": iter, "reason": lp.InfeasibilityCause(lpErr),
+				"sources": before - specialsBudget,
+			})
+			if err != nil {
+				isp.End(obs.Attrs{"lp": lp.InfeasibilityCause(lpErr), "error": err.Error()})
 				return nil, err
 			}
+			isp.End(obs.Attrs{
+				"sample": len(cons), "lp": lp.InfeasibilityCause(lpErr),
+				"lp_us": lpDur.Microseconds(), "pivots": lpStats.Pivots(),
+			})
 			continue
 		}
 
@@ -638,6 +706,7 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 		fcoeffs := poly.RatPoly(coeffs).Float64s()
 		ev, err := poly.NewEvaluator(cfg.Scheme, fcoeffs)
 		if err != nil {
+			isp.End(obs.Attrs{"error": err.Error()})
 			return nil, err
 		}
 
@@ -645,6 +714,7 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 		// evaluations are pure, so they shard across workers; the interval
 		// updates are applied serially afterwards, in constraint order, so
 		// demotion and shrink decisions are identical for any worker count.
+		checkStart := time.Now()
 		parallelFor(cfg.Workers, len(live), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if math.IsInf(live[i].Iv.Lo, -1) {
@@ -668,7 +738,7 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 				continue
 			}
 			violations++
-			res.Stats.ConstrainEvents++
+			m.constrainEvents.Inc()
 			amt := it.Iv.Lo - v
 			if v > it.Iv.Hi {
 				amt = v - it.Iv.Hi
@@ -676,14 +746,30 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 			amt /= math.Max(it.Iv.Hi-it.Iv.Lo, math.SmallestNonzeroFloat64)
 			it.Iv = interval.Constrain(it.Iv, v)
 			if it.Iv.Empty() {
+				before := specialsBudget
 				var err error
-				if specialsBudget, err = demoteItem(cfg, res, it, specialsBudget); err != nil {
+				specialsBudget, err = demoteItem(cfg, res, it, specialsBudget)
+				m.demotedSources.Add(int64(before - specialsBudget))
+				cfg.Trace.Event("demote", obs.Attrs{
+					"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
+					"degree": degree, "iter": iter, "reason": "empty-interval",
+					"sources": before - specialsBudget,
+				})
+				if err != nil {
+					isp.End(obs.Attrs{"error": err.Error()})
 					return nil, err
 				}
 				continue
 			}
 			worst = append(worst, viol{i: i, amt: amt})
 		}
+		checkDur := time.Since(checkStart)
+		m.checkTime.ObserveDuration(checkDur)
+		isp.End(obs.Attrs{
+			"sample": len(cons), "violations": violations,
+			"lp_us": lpDur.Microseconds(), "check_us": checkDur.Microseconds(),
+			"pivots": lpStats.Pivots(),
+		})
 		if violations == 0 {
 			return ev, nil
 		}

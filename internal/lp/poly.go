@@ -18,6 +18,16 @@ type Constraint struct {
 // more likely to preserve feasibility. Returns ok=false when the system is
 // infeasible.
 func SolvePoly(cons []Constraint, degree int) (coeffs []*big.Rat, ok bool) {
+	coeffs, _, err := SolvePolyStats(cons, degree, DefaultMaxPivots)
+	return coeffs, err == nil
+}
+
+// SolvePolyStats is SolvePoly with observability: it additionally returns
+// the solve statistics (tableau dimensions, per-phase pivot counts) and a
+// typed error distinguishing infeasibility from unboundedness from the
+// pivot-limit backstop (see SolveStandardStats). maxPivots <= 0 selects
+// DefaultMaxPivots.
+func SolvePolyStats(cons []Constraint, degree, maxPivots int) (coeffs []*big.Rat, st Stats, err error) {
 	nc := degree + 1
 	// Variables: c_j = p_j - q_j (p,q >= 0), margin variable t >= 0,
 	// plus one slack per inequality row.
@@ -73,15 +83,15 @@ func SolvePoly(cons []Constraint, degree int) (coeffs []*big.Rat, ok bool) {
 	}
 	cost[tVar].SetInt64(-1) // maximize t
 
-	z, ok := SolveStandard(a, b, cost)
-	if !ok {
-		return nil, false
+	z, st, err := SolveStandardStats(a, b, cost, maxPivots)
+	if err != nil {
+		return nil, st, err
 	}
 	coeffs = make([]*big.Rat, nc)
 	for j := 0; j < nc; j++ {
 		coeffs[j] = new(big.Rat).Sub(z[2*j], z[2*j+1])
 	}
-	return coeffs, true
+	return coeffs, st, nil
 }
 
 // CheckPoly reports whether the exact rational polynomial satisfies every

@@ -67,15 +67,31 @@ func (s *simplex) pivot(row, col int) {
 	s.basis[row] = col
 }
 
+// iterStatus is the outcome of a run of simplex iterations.
+type iterStatus int
+
+const (
+	iterOptimal iterStatus = iota
+	iterUnbounded
+	iterPivotLimit
+)
+
 // iterate runs simplex iterations until optimality (no negative reduced
-// cost) or unboundedness. It returns false when the problem is unbounded.
+// cost), unboundedness, or the pivot budget runs out. Each pivot increments
+// *pivots; when *pivots reaches limit the iteration stops with
+// iterPivotLimit — the backstop against degenerate cycling (Bland's rule
+// precludes true cycles, but the Dantzig phase and pathological inputs can
+// still pivot far beyond any useful bound).
 //
 // Pricing starts with Dantzig's rule (most negative reduced cost — far
 // fewer pivots in practice) and falls back to Bland's anti-cycling rule
 // after a long run of degenerate pivots.
-func (s *simplex) iterate() bool {
+func (s *simplex) iterate(pivots *int, limit int) iterStatus {
 	degenerate := 0
 	for {
+		if *pivots >= limit {
+			return iterPivotLimit
+		}
 		bland := degenerate > 2*(s.m+s.n)
 		col := -1
 		for j := 0; j < s.n; j++ {
@@ -94,7 +110,7 @@ func (s *simplex) iterate() bool {
 			}
 		}
 		if col < 0 {
-			return true // optimal
+			return iterOptimal
 		}
 		// Ratio test; ties broken by the lowest basic variable index
 		// (Bland).
@@ -111,7 +127,7 @@ func (s *simplex) iterate() bool {
 			}
 		}
 		if row < 0 {
-			return false // unbounded
+			return iterUnbounded
 		}
 		if s.t[row][s.n].Sign() == 0 {
 			degenerate++
@@ -119,6 +135,7 @@ func (s *simplex) iterate() bool {
 			degenerate = 0
 		}
 		s.pivot(row, col)
+		*pivots++
 	}
 }
 
@@ -157,9 +174,23 @@ func (s *simplex) solution(j int) *big.Rat {
 
 // SolveStandard minimizes cost·z subject to A z = b, z >= 0 (all exact
 // rationals; b may have any signs). It returns the optimal z, or ok=false
-// when infeasible or unbounded.
+// when infeasible or unbounded (or the DefaultMaxPivots backstop fires).
 func SolveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (z []*big.Rat, ok bool) {
+	z, _, err := SolveStandardStats(a, b, cost, DefaultMaxPivots)
+	return z, err == nil
+}
+
+// SolveStandardStats is SolveStandard with observability: it additionally
+// returns the tableau dimensions and per-phase pivot counts, and a typed
+// error distinguishing the failure causes (ErrInfeasible, ErrUnbounded, or
+// a *PivotLimitError when more than maxPivots pivots were attempted;
+// maxPivots <= 0 selects DefaultMaxPivots).
+func SolveStandardStats(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat, maxPivots int) (z []*big.Rat, st Stats, err error) {
+	if maxPivots <= 0 {
+		maxPivots = DefaultMaxPivots
+	}
 	m, n := len(a), len(cost)
+	st.Rows, st.Cols = m, n
 	// Phase 1 tableau: n real variables + m artificials.
 	s := newSimplex(m, n+m)
 	for i := 0; i < m; i++ {
@@ -182,14 +213,18 @@ func SolveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (z []*big.Rat,
 		s.t[s.m][n+i].SetInt64(1)
 	}
 	s.canonicalizeObjective()
-	if !s.iterate() {
-		return nil, false // cannot happen (phase 1 is bounded) but be safe
+	switch s.iterate(&st.Phase1Pivots, maxPivots) {
+	case iterPivotLimit:
+		return nil, st, &PivotLimitError{Phase: 1, Limit: maxPivots}
+	case iterUnbounded:
+		return nil, st, ErrUnbounded // cannot happen (phase 1 is bounded) but be safe
 	}
 	if s.objective().Sign() != 0 {
-		return nil, false // infeasible
+		return nil, st, ErrInfeasible
 	}
 	// Drive basic artificials out where possible; leftover degenerate rows
-	// are harmless once artificial columns are forbidden.
+	// are harmless once artificial columns are forbidden. These pivots are
+	// bounded by m and charged to phase 1.
 	for i := 0; i < m; i++ {
 		if s.basis[i] < n {
 			continue
@@ -197,6 +232,7 @@ func SolveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (z []*big.Rat,
 		for j := 0; j < n; j++ {
 			if s.t[i][j].Sign() != 0 {
 				s.pivot(i, j)
+				st.Phase1Pivots++
 				break
 			}
 		}
@@ -212,12 +248,15 @@ func SolveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (z []*big.Rat,
 		s.forbidden[j] = true
 	}
 	s.canonicalizeObjective()
-	if !s.iterate() {
-		return nil, false // unbounded
+	switch s.iterate(&st.Phase2Pivots, maxPivots-st.Phase1Pivots) {
+	case iterPivotLimit:
+		return nil, st, &PivotLimitError{Phase: 2, Limit: maxPivots}
+	case iterUnbounded:
+		return nil, st, ErrUnbounded
 	}
 	z = make([]*big.Rat, n)
 	for j := 0; j < n; j++ {
 		z[j] = s.solution(j)
 	}
-	return z, true
+	return z, st, nil
 }

@@ -1,0 +1,67 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stats describes one solve attempt for the observability layer: the
+// tableau dimensions and the per-phase pivot counts. It is returned even on
+// failure, so infeasibility diagnostics carry the work done before the
+// verdict.
+type Stats struct {
+	// Rows and Cols are the standard-form tableau dimensions: constraint
+	// rows and structural (non-artificial) columns.
+	Rows, Cols int
+	// Phase1Pivots counts the feasibility-phase pivots (including the
+	// artificial-variable drive-out); Phase2Pivots counts the optimization
+	// phase.
+	Phase1Pivots, Phase2Pivots int
+}
+
+// Pivots returns the total pivot count across both phases.
+func (s Stats) Pivots() int { return s.Phase1Pivots + s.Phase2Pivots }
+
+// DefaultMaxPivots bounds the simplex pivots per solve. The generator's
+// systems pivot tens to hundreds of times; a run beyond this bound means
+// degenerate cycling or a pathological instance, and an exact-rational
+// pivot chain that long would effectively hang the pipeline anyway.
+const DefaultMaxPivots = 100000
+
+// ErrInfeasible reports that phase 1 terminated with a positive optimum:
+// no point satisfies all constraints.
+var ErrInfeasible = errors.New("lp: infeasible (phase-1 optimum is positive)")
+
+// ErrUnbounded reports that the objective can decrease without bound.
+var ErrUnbounded = errors.New("lp: unbounded objective")
+
+// PivotLimitError reports that a solve exceeded its pivot budget — the
+// guard against degenerate cycling under the Dantzig/Bland hybrid rule.
+type PivotLimitError struct {
+	// Phase is the simplex phase (1 or 2) that hit the limit.
+	Phase int
+	// Limit is the budget that was exhausted.
+	Limit int
+}
+
+func (e *PivotLimitError) Error() string {
+	return fmt.Sprintf("lp: phase-%d simplex exceeded the %d-pivot limit (degenerate cycling guard)",
+		e.Phase, e.Limit)
+}
+
+// InfeasibilityCause classifies err for metrics labels: "infeasible",
+// "unbounded", "pivot-limit", or "" for nil/unrecognized errors.
+func InfeasibilityCause(err error) string {
+	var pl *PivotLimitError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, ErrUnbounded):
+		return "unbounded"
+	case errors.As(err, &pl):
+		return "pivot-limit"
+	}
+	return ""
+}

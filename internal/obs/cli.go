@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CommonFlags bundles the observability flags shared by every rlibm CLI:
+// leveled logging (-v/-q), tracing (-trace), run reports (-report) and
+// pprof capture (-cpuprofile/-memprofile).
+type CommonFlags struct {
+	Verbose    bool
+	Quiet      bool
+	TracePath  string
+	ReportPath string
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterCommonFlags installs the shared observability flags on fs.
+func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	c := &CommonFlags{}
+	fs.BoolVar(&c.Verbose, "v", false, "verbose: show inner-loop debug detail")
+	fs.BoolVar(&c.Quiet, "q", false, "quiet: suppress progress lines (results still print)")
+	fs.StringVar(&c.TracePath, "trace", "", "write structured JSONL trace events to this file")
+	fs.StringVar(&c.ReportPath, "report", "", "write a machine-readable JSON run report to this file")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file (at exit)")
+	return c
+}
+
+// Level resolves -v/-q into a log level (-q wins when both are given: a
+// script asking for quiet output should get it).
+func (c *CommonFlags) Level() Level {
+	switch {
+	case c.Quiet:
+		return LevelQuiet
+	case c.Verbose:
+		return LevelDebug
+	default:
+		return LevelInfo
+	}
+}
+
+// RunObs is the live observability state of one CLI run: open trace file,
+// running CPU profile, pending heap profile. Close releases all of it.
+type RunObs struct {
+	Log    *Logger
+	Tracer *Tracer
+
+	traceFile *os.File
+	stopCPU   func() error
+	memPath   string
+}
+
+// Start opens the resources the flags ask for. On error everything already
+// opened is released. The caller must Close the returned RunObs (typically
+// deferred); Close is nil-safe, so `ro, err := flags.Start()` followed by
+// `defer ro.Close()` is correct even on error.
+func (c *CommonFlags) Start() (*RunObs, error) {
+	ro := &RunObs{Log: NewLogger(os.Stderr, c.Level())}
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -trace: %w", err)
+		}
+		ro.traceFile = f
+		ro.Tracer = NewTracer(f)
+	}
+	if c.CPUProfile != "" {
+		stop, err := StartCPUProfile(c.CPUProfile)
+		if err != nil {
+			ro.Close()
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		ro.stopCPU = stop
+	}
+	ro.memPath = c.MemProfile
+	return ro, nil
+}
+
+// Close stops the CPU profile, writes the heap profile, and closes the
+// trace file. Safe on nil and idempotent enough for a deferred call after a
+// failed Start.
+func (ro *RunObs) Close() error {
+	if ro == nil {
+		return nil
+	}
+	var first error
+	if ro.stopCPU != nil {
+		if err := ro.stopCPU(); err != nil && first == nil {
+			first = err
+		}
+		ro.stopCPU = nil
+	}
+	if ro.memPath != "" {
+		if err := WriteHeapProfile(ro.memPath); err != nil && first == nil {
+			first = err
+		}
+		ro.memPath = ""
+	}
+	if ro.traceFile != nil {
+		if err := ro.Tracer.Err(); err != nil && first == nil {
+			first = fmt.Errorf("obs: trace writes failed: %w", err)
+		}
+		if err := ro.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		ro.traceFile = nil
+	}
+	return first
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level is a logging verbosity level.
+type Level int
+
+const (
+	// LevelQuiet suppresses everything (the CLIs' -q).
+	LevelQuiet Level = iota
+	// LevelInfo is the default: per-function progress and summaries.
+	LevelInfo
+	// LevelDebug adds the pipeline's inner-loop detail (the CLIs' -v).
+	LevelDebug
+)
+
+// Logger is a minimal leveled logger. All methods are safe for concurrent
+// use and are no-ops on a nil *Logger, so instrumented code never checks
+// for enablement. One line per call; concurrent writers never interleave
+// within a line.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+}
+
+// NewLogger returns a logger writing lines at or below level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Enabled reports whether a message at level would be written. Call sites
+// use it to skip expensive argument construction.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && l.w != nil && level <= l.level && level > LevelQuiet
+}
+
+// Infof logs a progress line (shown by default, silenced by -q).
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs inner-loop detail (shown with -v).
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format+"\n", args...)
+}

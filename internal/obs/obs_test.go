@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a/b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a/b") != c {
+		t.Error("Counter must return the same handle for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("SetMax(3) lowered gauge to %d", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Errorf("gauge = %d, want 11", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	// The log-2 bucket invariant: v lands in (lo, hi] with hi = 2^i.
+	cases := map[int64]int{-3: 0, 0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	var h Histogram
+	h.Observe(1)
+	h.Observe(3)
+	h.ObserveDuration(4 * time.Nanosecond)
+	if h.Count() != 3 || h.Sum() != 8 {
+		t.Errorf("count/sum = %d/%d, want 3/8", h.Count(), h.Sum())
+	}
+	s := snapshotHist(&h)
+	if len(s.Buckets) != 2 {
+		t.Fatalf("%d occupied buckets, want 2 (%+v)", len(s.Buckets), s.Buckets)
+	}
+	if s.Buckets[0].Lo != 0 || s.Buckets[0].Hi != 1 || s.Buckets[0].Count != 1 {
+		t.Errorf("bucket 0 = %+v", s.Buckets[0])
+	}
+	if s.Buckets[1].Lo != 2 || s.Buckets[1].Hi != 4 || s.Buckets[1].Count != 2 {
+		t.Errorf("bucket 1 = %+v", s.Buckets[1])
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 {
+		t.Errorf("counter = %d, want 8000", s.Counters["c"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", s.Histograms["h"].Count)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("only/a").Add(1)
+	b.Counter("only/b").Add(2)
+	b.Gauge("g").Set(3)
+	b.Histogram("h").Observe(9)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counters["only/a"] != 1 || s.Counters["only/b"] != 2 {
+		t.Errorf("merged counters = %v", s.Counters)
+	}
+	if got := s.Names(); len(got) != 4 {
+		t.Errorf("Names() = %v, want 4 entries", got)
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Event("hello", Attrs{"fn": "exp2", "n": 3})
+	sp := tr.StartSpan("work", Attrs{"fn": "exp2", "phase": "solve"})
+	sp.End(Attrs{"pivots": 17})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if ev["ev"] != "hello" || ev["fn"] != "exp2" || ev["n"] != float64(3) {
+		t.Errorf("event line = %v", ev)
+	}
+	if _, hasDur := ev["dur_us"]; hasDur {
+		t.Error("instantaneous event must not carry dur_us")
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if ev["ev"] != "work" || ev["pivots"] != float64(17) || ev["phase"] != "solve" {
+		t.Errorf("span line = %v", ev)
+	}
+	if _, hasDur := ev["dur_us"]; !hasDur {
+		t.Error("span line must carry dur_us")
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Event("x", nil)
+	sp := tr.StartSpan("y", nil)
+	sp.End(Attrs{"k": 1})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Infof("info %d", 1)
+	l.Debugf("debug %d", 2)
+	if got := buf.String(); got != "info 1\n" {
+		t.Errorf("info-level output = %q", got)
+	}
+	buf.Reset()
+	NewLogger(&buf, LevelDebug).Debugf("d")
+	if buf.String() != "d\n" {
+		t.Errorf("debug logger dropped a debug line: %q", buf.String())
+	}
+	buf.Reset()
+	q := NewLogger(&buf, LevelQuiet)
+	q.Infof("nope")
+	if buf.Len() != 0 {
+		t.Errorf("quiet logger wrote %q", buf.String())
+	}
+	var nilLogger *Logger
+	nilLogger.Infof("also fine")
+	if nilLogger.Enabled(LevelInfo) {
+		t.Error("nil logger must report not-enabled")
+	}
+}

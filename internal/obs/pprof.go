@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// StartCPUProfile begins a CPU profile at path and returns the function that
+// stops it and closes the file. It backs the CLIs' -cpuprofile flag.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("start CPU profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an up-to-date heap profile to path. It backs the
+// CLIs' -memprofile flag.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // fold pending frees into the profile, as `go test` does
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write heap profile: %w", err)
+	}
+	return f.Close()
+}
+
+// GitDescribe returns `git describe --always --dirty --tags` for the current
+// working tree, or "" when git (or a repository) is unavailable — run
+// reports embed it so a perf trajectory can be pinned to commits.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attrs carries the structured payload of one trace event. json.Marshal
+// sorts map keys, so lines are stable for a given payload.
+type Attrs map[string]any
+
+// Tracer writes span-style structured events as JSON Lines. Every method is
+// safe for concurrent use (one line per event, written under a mutex) and
+// every method on a nil *Tracer is a no-op, so instrumented code never
+// checks whether tracing is enabled.
+//
+// Line schema (one JSON object per line):
+//
+//	{"t_us": <microseconds since tracer start>,
+//	 "ev":   "<event name>",
+//	 "dur_us": <span duration, span-end events only>,
+//	 ... event attributes ...}
+//
+// Wall-clock fields are the only nondeterministic content; everything else
+// is a pure function of the run's inputs.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	err   error // first write error; subsequent events are dropped
+}
+
+// NewTracer returns a tracer writing JSONL to w. The caller owns w's
+// lifetime (the tracer never closes it).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, start: time.Now()}
+}
+
+// Err returns the first write error, if any — a full disk should not kill a
+// multi-hour generation run, so writes fail soft and the CLI reports the
+// error at exit.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Event writes one instantaneous event.
+func (t *Tracer) Event(name string, attrs Attrs) {
+	if t == nil {
+		return
+	}
+	t.emit(name, attrs, -1)
+}
+
+// Span starts a span; call End on the result to emit it. A span is emitted
+// as a single line at End time (with its duration), not as a pair of lines.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs Attrs
+}
+
+// StartSpan begins a span with the given base attributes.
+func (t *Tracer) StartSpan(name string, attrs Attrs) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now(), attrs: attrs}
+}
+
+// End emits the span line. extra attributes (results discovered during the
+// span: violation counts, pivot totals, ...) override base attributes on
+// key collision. End on a nil span is a no-op.
+func (s *Span) End(extra Attrs) {
+	if s == nil {
+		return
+	}
+	attrs := make(Attrs, len(s.attrs)+len(extra))
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	for k, v := range extra {
+		attrs[k] = v
+	}
+	s.t.emit(s.name, attrs, time.Since(s.start))
+}
+
+// emit writes one line. dur < 0 means "not a span" (no dur_us field).
+func (t *Tracer) emit(name string, attrs Attrs, dur time.Duration) {
+	line := make(map[string]any, len(attrs)+3)
+	for k, v := range attrs {
+		line[k] = v
+	}
+	line["ev"] = name
+	line["t_us"] = time.Since(t.start).Microseconds()
+	if dur >= 0 {
+		line["dur_us"] = dur.Microseconds()
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		// Unmarshalable attribute values are a programming error; record it
+		// once rather than panicking mid-pipeline.
+		t.mu.Lock()
+		if t.err == nil {
+			t.err = err
+		}
+		t.mu.Unlock()
+		return
+	}
+	buf = append(buf, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+	}
+}

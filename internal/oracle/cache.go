@@ -70,6 +70,7 @@ func (c *Cache) Correct(f Func, x float64, t fp.Format, m fp.Mode) float64 {
 	if y, ok := sh.m[k]; ok {
 		sh.mu.Unlock()
 		c.hits.Add(1)
+		metricsFor(f).observeCache(true)
 		return y
 	}
 	sh.mu.Unlock()
@@ -82,6 +83,7 @@ func (c *Cache) Correct(f Func, x float64, t fp.Format, m fp.Mode) float64 {
 	sh.m[k] = y
 	sh.mu.Unlock()
 	c.misses.Add(1)
+	metricsFor(f).observeCache(false)
 	return y
 }
 

@@ -1,0 +1,90 @@
+package oracle
+
+import (
+	"sync"
+
+	"rlibm/internal/obs"
+)
+
+// fnMetrics caches one function's instrument handles into obs.Default().
+// The oracle sits below any per-run configuration (the cache and Value are
+// shared by every layer above), so its metrics are process-wide; CLIs merge
+// the default registry into their run reports.
+//
+// Handles are resolved once per process — Round and the cache are the
+// hottest paths in the repository (one call per enumerated input per
+// (format, mode)), and a name lookup per call would contend on the registry
+// mutex, so all updates go through pre-resolved atomic instruments.
+type fnMetrics struct {
+	// zivDepth is the Ziv escalation depth histogram: how many times one
+	// Round call had to double the working precision (0 = the initial
+	// precision rounded unambiguously).
+	zivDepth *obs.Histogram
+	// zivPrec is the terminal working precision histogram (bits) of Ziv-path
+	// Round calls; zivPrecMax tracks the process-wide maximum.
+	zivPrec    *obs.Histogram
+	zivPrecMax *obs.Gauge
+	// exact counts Round calls answered from the algebraic exact-result or
+	// symbolic overflow/underflow paths (no Ziv loop at all).
+	exact *obs.Counter
+	// cacheHits / cacheMisses count Cache.Correct outcomes.
+	cacheHits, cacheMisses *obs.Counter
+}
+
+var (
+	fnMetricsOnce sync.Once
+	fnMetricsTab  []fnMetrics
+)
+
+// metricsFor returns the handles for f, or nil for out-of-range values.
+func metricsFor(f Func) *fnMetrics {
+	fnMetricsOnce.Do(func() {
+		fnMetricsTab = make([]fnMetrics, len(AllFuncs))
+		reg := obs.Default()
+		for _, fn := range AllFuncs {
+			name := fn.String()
+			fnMetricsTab[fn] = fnMetrics{
+				zivDepth:    reg.Histogram("oracle/" + name + "/ziv_depth"),
+				zivPrec:     reg.Histogram("oracle/" + name + "/terminal_prec"),
+				zivPrecMax:  reg.Gauge("oracle/" + name + "/terminal_prec_max"),
+				exact:       reg.Counter("oracle/" + name + "/exact_results"),
+				cacheHits:   reg.Counter("oracle/" + name + "/cache_hits"),
+				cacheMisses: reg.Counter("oracle/" + name + "/cache_misses"),
+			}
+		}
+	})
+	if int(f) < 0 || int(f) >= len(fnMetricsTab) {
+		return nil
+	}
+	return &fnMetricsTab[f]
+}
+
+// observeZiv records one Ziv-path Round call.
+func (m *fnMetrics) observeZiv(depth int, prec uint) {
+	if m == nil {
+		return
+	}
+	m.zivDepth.Observe(int64(depth))
+	m.zivPrec.Observe(int64(prec))
+	m.zivPrecMax.SetMax(int64(prec))
+}
+
+// observeExact records one exact/symbolic-path Round call.
+func (m *fnMetrics) observeExact() {
+	if m == nil {
+		return
+	}
+	m.exact.Inc()
+}
+
+// observeCache records one cache lookup outcome.
+func (m *fnMetrics) observeCache(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.cacheHits.Inc()
+	} else {
+		m.cacheMisses.Inc()
+	}
+}

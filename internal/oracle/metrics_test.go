@@ -1,0 +1,59 @@
+package oracle
+
+import (
+	"testing"
+
+	"rlibm/internal/fp"
+)
+
+// TestZivMetricsRecorded: Ziv-path rounds populate the per-function depth
+// and terminal-precision histograms in obs.Default(); exact-path rounds
+// count separately. Metrics are process-global and monotonic, so the test
+// asserts deltas.
+func TestZivMetricsRecorded(t *testing.T) {
+	m := metricsFor(Exp)
+	if m == nil {
+		t.Fatal("no metrics for Exp")
+	}
+	depth0, prec0, exact0 := m.zivDepth.Count(), m.zivPrec.Count(), m.exact.Value()
+
+	if got := Correct(Exp, 0.5, fp.FP34, fp.RTO); got == 0 {
+		t.Fatal("oracle returned 0 for exp(0.5)")
+	}
+	if m.zivDepth.Count() != depth0+1 || m.zivPrec.Count() != prec0+1 {
+		t.Errorf("Ziv histograms not advanced: depth %d->%d, prec %d->%d",
+			depth0, m.zivDepth.Count(), prec0, m.zivPrec.Count())
+	}
+	if m.zivPrecMax.Value() < 80 {
+		t.Errorf("terminal precision max = %d, want >= the 80-bit start", m.zivPrecMax.Value())
+	}
+
+	Correct(Exp, 0, fp.FP34, fp.RTO) // exact path: exp(0) = 1
+	if m.exact.Value() != exact0+1 {
+		t.Errorf("exact counter not advanced: %d -> %d", exact0, m.exact.Value())
+	}
+
+	if bad := metricsFor(Func(99)); bad != nil {
+		t.Error("out-of-range Func must yield nil metrics")
+	}
+	bad := metricsFor(Func(99))
+	bad.observeZiv(1, 80) // nil-safe no-ops
+	bad.observeExact()
+	bad.observeCache(true)
+}
+
+// TestCacheMetricsByFunction: per-function hit/miss counters advance with
+// the cache's own counts.
+func TestCacheMetricsByFunction(t *testing.T) {
+	m := metricsFor(Log2)
+	hits0, misses0 := m.cacheHits.Value(), m.cacheMisses.Value()
+	c := NewCache(4)
+	c.Correct(Log2, 3, fp.FP34, fp.RTO)
+	c.Correct(Log2, 3, fp.FP34, fp.RTO)
+	if m.cacheMisses.Value() != misses0+1 {
+		t.Errorf("misses %d -> %d, want +1", misses0, m.cacheMisses.Value())
+	}
+	if m.cacheHits.Value() != hits0+1 {
+		t.Errorf("hits %d -> %d, want +1", hits0, m.cacheHits.Value())
+	}
+}

@@ -252,15 +252,24 @@ func Compute(f Func, x float64) *Value {
 
 // Round returns the correctly rounded value of f(x) in format t under mode
 // m, raising the working precision until rounding is unambiguous.
+//
+// Each call records its Ziv escalation depth (precision doublings performed
+// by this call; a reused Value keeps its precision, so later calls usually
+// record depth 0) and terminal working precision into the obs.Default()
+// registry — write-only instrumentation that cannot affect the result.
 func (v *Value) Round(t fp.Format, m fp.Mode) float64 {
 	if v.symbolic != 0 {
+		metricsFor(v.fn).observeExact()
 		return roundSymbolic(t, m, v.symbolic > 0)
 	}
 	if v.exact != nil {
+		metricsFor(v.fn).observeExact()
 		return t.RoundRat(v.exact, m)
 	}
+	depth := 0
 	for {
 		if r, ok := roundUnambiguous(v.y, v.prec-8, t, m); ok {
+			metricsFor(v.fn).observeZiv(depth, v.prec)
 			return r
 		}
 		if v.prec > 16384 {
@@ -268,6 +277,7 @@ func (v *Value) Round(t fp.Format, m fp.Mode) float64 {
 		}
 		v.prec *= 2
 		v.y = v.fn.EvalBig(v.x, v.prec)
+		depth++
 	}
 }
 
