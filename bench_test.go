@@ -13,6 +13,7 @@
 package rlibm_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -217,7 +218,7 @@ func BenchmarkGenerate(b *testing.B) {
 	for _, s := range []poly.Scheme{poly.Horner, poly.EstrinFMA} {
 		b.Run("exp2/12bit/"+s.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := core.Generate(core.Config{
+				_, err := core.Generate(context.Background(), core.Config{
 					Fn:     oracle.Exp2,
 					Scheme: s,
 					Input:  fp.Format{Bits: 12, ExpBits: 8},
@@ -247,7 +248,7 @@ func BenchmarkGenerateWorkers(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("exp2/all-schemes/14bit/workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := core.GenerateAll(core.Config{
+				_, err := core.GenerateAll(context.Background(), core.Config{
 					Fn:      oracle.Exp2,
 					Input:   fp.Format{Bits: 14, ExpBits: 8},
 					Seed:    1,

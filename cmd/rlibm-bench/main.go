@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -62,12 +63,29 @@ type genBenchReport struct {
 	OracleHitRate float64 `json:"oracle_hit_rate"`
 }
 
-// writeReport resolves -out ("auto" -> BENCH_<timestamp>.json) and writes
-// the report.
-func writeReport(path string, rep *benchReport) {
-	if path == "auto" {
-		path = time.Now().UTC().Format("BENCH_20060102T150405Z.json")
+// resolveReportPath expands "auto" to BENCH_<timestamp>.json, appending a
+// _2, _3, ... disambiguator when that name is taken — two runs finishing in
+// the same second must not clobber each other's reports. exists is os.Stat
+// in production, injectable for tests.
+func resolveReportPath(path string, now time.Time, exists func(string) bool) string {
+	if path != "auto" {
+		return path
 	}
+	base := now.UTC().Format("BENCH_20060102T150405Z")
+	path = base + ".json"
+	for n := 2; exists(path); n++ {
+		path = fmt.Sprintf("%s_%d.json", base, n)
+	}
+	return path
+}
+
+// writeReport resolves -out ("auto" -> a fresh BENCH_<timestamp>.json) and
+// writes the report.
+func writeReport(path string, rep *benchReport) {
+	path = resolveReportPath(path, time.Now(), func(p string) bool {
+		_, err := os.Stat(p)
+		return err == nil
+	})
 	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	f, err := os.Create(path)
 	if err != nil {
@@ -210,7 +228,7 @@ func benchGenerate(bits, workers int, seed int64) *genBenchReport {
 		c := cfg
 		c.Workers = w
 		start := time.Now()
-		rs, err := core.GenerateAll(c, poly.PaperSchemes)
+		rs, err := core.GenerateAll(context.Background(), c, poly.PaperSchemes)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rlibm-bench:", err)
 			os.Exit(1)

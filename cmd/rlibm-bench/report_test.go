@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResolveReportPath(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 34, 56, 0, time.UTC)
+	never := func(string) bool { return false }
+
+	if got := resolveReportPath("custom.json", now, never); got != "custom.json" {
+		t.Errorf("explicit path rewritten to %q", got)
+	}
+	if got := resolveReportPath("auto", now, never); got != "BENCH_20260805T123456Z.json" {
+		t.Errorf("auto resolved to %q", got)
+	}
+
+	// Same-second collisions get _2, _3, ... instead of clobbering.
+	taken := map[string]bool{
+		"BENCH_20260805T123456Z.json":   true,
+		"BENCH_20260805T123456Z_2.json": true,
+	}
+	got := resolveReportPath("auto", now, func(p string) bool { return taken[p] })
+	if got != "BENCH_20260805T123456Z_3.json" {
+		t.Errorf("collision resolved to %q, want BENCH_20260805T123456Z_3.json", got)
+	}
+
+	// An explicit path is the user's call even if it exists.
+	if got := resolveReportPath("out.json", now, func(string) bool { return true }); got != "out.json" {
+		t.Errorf("explicit existing path rewritten to %q", got)
+	}
+}

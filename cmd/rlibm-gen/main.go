@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -47,9 +49,17 @@ func main() {
 		pieces     = flag.Int("pieces", 0, "piecewise pieces (0 = per-function default)")
 		emit       = flag.String("emit", "", "write the internal/libm Go data file to this path")
 		table1     = flag.Bool("table1", false, "print a Table-1-style summary")
+		timeout    = flag.Duration("timeout", 0, "abort generation after this long (0 = no limit); cancellation reaches down into the simplex pivot loop")
 		common     = obs.RegisterCommonFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	input := fp.Format{Bits: *bits, ExpBits: *expBits}
 	if err := input.Validate(); err != nil {
@@ -107,8 +117,22 @@ func main() {
 			Trace:   ro.Tracer,
 		}
 		start := time.Now()
-		rs, err := core.GenerateAll(cfg, schemes)
+		rs, err := core.GenerateAll(ctx, cfg, schemes)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				// The -timeout budget covers the whole run; once it fires,
+				// every remaining function would fail identically.
+				if report != nil {
+					for _, scheme := range schemes {
+						report.AddFailure(fn.String(), scheme.String(), err)
+					}
+					report.AttachMetrics(reg, obs.Default())
+					if werr := report.WriteFile(common.ReportPath); werr != nil {
+						fatal(werr)
+					}
+				}
+				fatal(fmt.Errorf("%v: %w", fn, err))
+			}
 			// With a report requested the run keeps going: the report marks
 			// the failed schemes solved:false and the exit status is nonzero,
 			// so CI sees both the failure and everything else that happened.

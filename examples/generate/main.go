@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -31,7 +32,7 @@ func main() {
 	}
 	fmt.Printf("generating exp2 for all %v inputs (oracle: %d-bit round-to-odd)...\n",
 		input, input.Bits+2)
-	res, err := core.Generate(cfg)
+	res, err := core.Generate(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "generation failed:", err)
 		os.Exit(1)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -27,7 +28,7 @@ import (
 func main() {
 	input := fp.Format{Bits: 14, ExpBits: 8}
 	fmt.Printf("generating sinpi for all %v inputs...\n", input)
-	res, err := core.Generate(core.Config{
+	res, err := core.Generate(context.Background(), core.Config{
 		Fn:     oracle.Sinpi,
 		Scheme: poly.EstrinFMA,
 		Input:  input,

@@ -71,6 +71,13 @@ type Config struct {
 	// count: the parallel phases reduce their outputs in a sorted,
 	// shard-independent order.
 	Workers int
+	// ColdLP disables the warm-started incremental LP engine: every
+	// constrain iteration solves its system from scratch, as the pipeline
+	// did before the lp.Solver redesign. The generated coefficients are
+	// bit-identical either way (the solver canonicalizes its optimum);
+	// this switch exists for regression testing and for isolating the
+	// warm-start machinery when debugging.
+	ColdLP bool
 	// Log, when non-nil, receives progress lines. Deprecated in favour of
 	// Logger: when Logger is nil and Log is set, a debug-level logger
 	// wrapping Log is installed, preserving the old "everything or nothing"

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -24,7 +25,7 @@ func TestGenerateExp2Exhaustive(t *testing.T) {
 		t.Skip("end-to-end pipeline test; skipped with -short")
 	}
 	for _, scheme := range []poly.Scheme{poly.Horner, poly.EstrinFMA} {
-		res, err := Generate(Config{Fn: oracle.Exp2, Scheme: scheme, Input: test18, Seed: 1})
+		res, err := Generate(context.Background(), Config{Fn: oracle.Exp2, Scheme: scheme, Input: test18, Seed: 1})
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
@@ -43,7 +44,7 @@ func TestGenerateLogExhaustive(t *testing.T) {
 		t.Skip("end-to-end pipeline test; skipped with -short")
 	}
 	in := fp.Format{Bits: 20, ExpBits: 8}
-	res, err := Generate(Config{Fn: oracle.Log, Scheme: poly.EstrinFMA, Input: in, Seed: 1})
+	res, err := Generate(context.Background(), Config{Fn: oracle.Log, Scheme: poly.EstrinFMA, Input: in, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestGenerateAllFunctionsSampled(t *testing.T) {
 		t.Skip("end-to-end pipeline test; skipped with -short")
 	}
 	for _, fn := range oracle.Funcs {
-		rs, err := GenerateAll(Config{Fn: fn, Seed: 3, Input: test18},
+		rs, err := GenerateAll(context.Background(), Config{Fn: fn, Seed: 3, Input: test18},
 			[]poly.Scheme{poly.Knuth, poly.Estrin})
 		if err != nil {
 			t.Fatalf("%v: %v", fn, err)
@@ -120,7 +121,7 @@ func TestFindDomainPlateaus(t *testing.T) {
 // TestResultSpecialValues: IEEE edge semantics of the generated
 // implementation.
 func TestResultSpecialValues(t *testing.T) {
-	res, err := Generate(Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 5})
+	res, err := Generate(context.Background(), Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestResultSpecialValues(t *testing.T) {
 		t.Errorf("exp2(10) = %g", got)
 	}
 
-	resLog, err := Generate(Config{Fn: oracle.Log2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 5})
+	resLog, err := Generate(context.Background(), Config{Fn: oracle.Log2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestPostProcessAdaptationViolates(t *testing.T) {
 	}
 	in := fp.Format{Bits: 22, ExpBits: 8}
 	cfg := Config{Fn: oracle.Exp10, Scheme: poly.Horner, Input: in, Seed: 2, Stride: 4}
-	res, err := Generate(cfg)
+	res, err := Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestPostProcessAdaptationViolates(t *testing.T) {
 	t.Logf("post-process adaptation violates %d constraints (integrated: 0)", postViol)
 
 	// The integrated Knuth run fixes them.
-	resK, err := Generate(Config{Fn: oracle.Exp10, Scheme: poly.Knuth, Input: in, Seed: 2, Stride: 4})
+	resK, err := Generate(context.Background(), Config{Fn: oracle.Exp10, Scheme: poly.Knuth, Input: in, Seed: 2, Stride: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestSplit(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Generate(Config{Fn: oracle.Exp2, Input: fp.Format{Bits: 99, ExpBits: 8}}); err == nil {
+	if _, err := Generate(context.Background(), Config{Fn: oracle.Exp2, Input: fp.Format{Bits: 99, ExpBits: 8}}); err == nil {
 		t.Error("expected invalid input format error")
 	}
 	cfg := Config{Fn: oracle.Exp2, Input: fp.Bfloat16}
@@ -281,7 +282,7 @@ func TestConfigValidation(t *testing.T) {
 
 // TestVerifyCatchesWrongness: corrupt a piece and Verify must report wrongs.
 func TestVerifyCatchesWrongness(t *testing.T) {
-	res, err := Generate(Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 7})
+	res, err := Generate(context.Background(), Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +345,7 @@ func TestGenerateTrigExhaustive(t *testing.T) {
 	}
 	in := fp.Format{Bits: 18, ExpBits: 8}
 	for _, fn := range []oracle.Func{oracle.Sinpi, oracle.Cospi} {
-		res, err := Generate(Config{Fn: fn, Scheme: poly.EstrinFMA, Input: in, Seed: 1})
+		res, err := Generate(context.Background(), Config{Fn: fn, Scheme: poly.EstrinFMA, Input: in, Seed: 1})
 		if err != nil {
 			t.Fatalf("%v: %v", fn, err)
 		}

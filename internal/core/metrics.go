@@ -24,11 +24,18 @@ type schemeMetrics struct {
 	constrainEvents *obs.Counter
 	demotedSources  *obs.Counter
 
-	lpPivots       *obs.Counter // total simplex pivots, both phases
+	lpPivots       *obs.Counter // total simplex pivots, all phases
 	lpPivotsPhase1 *obs.Counter
 	lpPivotsPhase2 *obs.Counter
+	lpPivotsDual   *obs.Counter   // dual-simplex pivots of warm resolves
+	lpPivotsCanon  *obs.Counter   // lex-canonicalization pivots
+	lpWarm         *obs.Counter   // resolves served from the previous basis
+	lpCold         *obs.Counter   // from-scratch two-phase solves
+	lpPivotsSaved  *obs.Counter   // estimated pivots avoided by warm starts
 	lpPerSolve     *obs.Histogram // pivots per LP solve
 	lpTime         *obs.Histogram // wall-clock per LP solve (ns)
+	lpTimeWarm     *obs.Histogram // wall-clock per warm resolve (ns)
+	lpTimeCold     *obs.Histogram // wall-clock per cold solve (ns)
 	lpRowsMax      *obs.Gauge     // largest tableau seen
 	lpColsMax      *obs.Gauge
 	checkTime      *obs.Histogram // wall-clock per full-constraint check (ns)
@@ -37,10 +44,17 @@ type schemeMetrics struct {
 	reg    *obs.Registry
 	prefix string
 
+	// lastColdPivots remembers the most recent cold solve's two-phase pivot
+	// count; a warm resolve's savings are estimated against it (the cold
+	// solve it replaced would have been at least as large — the system has
+	// only grown since). Written and read from the scheme's single solve
+	// goroutine only.
+	lastColdPivots int64
+
 	// Registry values at the start of this run. Stats is a per-run view, but
 	// a caller-supplied registry (Config.Metrics) outlives runs and its
 	// counters are monotonic, so fillStats reports deltas from these.
-	baseIter, baseLP, baseConstrain, basePivots int64
+	baseIter, baseLP, baseConstrain, basePivots, baseWarm, baseCold int64
 }
 
 func newSchemeMetrics(reg *obs.Registry, fn oracle.Func, scheme poly.Scheme) *schemeMetrics {
@@ -53,8 +67,15 @@ func newSchemeMetrics(reg *obs.Registry, fn oracle.Func, scheme poly.Scheme) *sc
 		lpPivots:        reg.Counter(p + "lp_pivots"),
 		lpPivotsPhase1:  reg.Counter(p + "lp_pivots_phase1"),
 		lpPivotsPhase2:  reg.Counter(p + "lp_pivots_phase2"),
+		lpPivotsDual:    reg.Counter(p + "lp_pivots_dual"),
+		lpPivotsCanon:   reg.Counter(p + "lp_pivots_canon"),
+		lpWarm:          reg.Counter(p + "lp_warm_resolves"),
+		lpCold:          reg.Counter(p + "lp_cold_solves"),
+		lpPivotsSaved:   reg.Counter(p + "lp_pivots_saved"),
 		lpPerSolve:      reg.Histogram(p + "lp_pivots_per_solve"),
 		lpTime:          reg.Histogram(p + "lp_solve_time_ns"),
+		lpTimeWarm:      reg.Histogram(p + "lp_warm_resolve_time_ns"),
+		lpTimeCold:      reg.Histogram(p + "lp_cold_solve_time_ns"),
 		lpRowsMax:       reg.Gauge(p + "lp_rows_max"),
 		lpColsMax:       reg.Gauge(p + "lp_cols_max"),
 		checkTime:       reg.Histogram(p + "check_time_ns"),
@@ -72,6 +93,8 @@ func (m *schemeMetrics) snapshotBase() *schemeMetrics {
 	m.baseLP = m.lpSolves.Value()
 	m.baseConstrain = m.constrainEvents.Value()
 	m.basePivots = m.lpPivots.Value()
+	m.baseWarm = m.lpWarm.Value()
+	m.baseCold = m.lpCold.Value()
 	return m
 }
 
@@ -82,16 +105,39 @@ func isPivotLimit(err error) bool {
 	return errors.As(err, &pl)
 }
 
-// observeLP records one LP solve outcome: stats always, the infeasibility
-// cause (the cold path) by name when the solve failed.
+// isCanceled reports whether an LP error is a context cancellation, which
+// aborts the whole scheme rather than demoting or escalating.
+func isCanceled(err error) bool {
+	var ce *lp.CanceledError
+	return errors.As(err, &ce)
+}
+
+// observeLP records one LP solve outcome: stats always, split by warm vs
+// cold resolve, the infeasibility cause by name when the solve failed.
 func (m *schemeMetrics) observeLP(st lp.Stats, dur time.Duration, err error) {
 	m.lpPivots.Add(int64(st.Pivots()))
 	m.lpPivotsPhase1.Add(int64(st.Phase1Pivots))
 	m.lpPivotsPhase2.Add(int64(st.Phase2Pivots))
+	m.lpPivotsDual.Add(int64(st.DualPivots))
+	m.lpPivotsCanon.Add(int64(st.CanonPivots))
 	m.lpPerSolve.Observe(int64(st.Pivots()))
 	m.lpTime.ObserveDuration(dur)
 	m.lpRowsMax.SetMax(int64(st.Rows))
 	m.lpColsMax.SetMax(int64(st.Cols))
+	if st.Warm {
+		m.lpWarm.Inc()
+		m.lpTimeWarm.ObserveDuration(dur)
+		// The avoided cold solve would have pivoted at least as much as the
+		// previous cold solve of this (only grown since) system; count the
+		// difference to the dual-simplex work actually done as saved.
+		if saved := m.lastColdPivots - int64(st.DualPivots); saved > 0 {
+			m.lpPivotsSaved.Add(saved)
+		}
+	} else {
+		m.lpCold.Inc()
+		m.lpTimeCold.ObserveDuration(dur)
+		m.lastColdPivots = int64(st.Phase1Pivots + st.Phase2Pivots)
+	}
 	if cause := lp.InfeasibilityCause(err); cause != "" {
 		m.reg.Counter(m.prefix + "lp_" + cause).Inc()
 	}
@@ -104,4 +150,6 @@ func (m *schemeMetrics) fillStats(s *Stats) {
 	s.LPSolves = int(m.lpSolves.Value() - m.baseLP)
 	s.ConstrainEvents = int(m.constrainEvents.Value() - m.baseConstrain)
 	s.LPPivots = m.lpPivots.Value() - m.basePivots
+	s.WarmResolves = int(m.lpWarm.Value() - m.baseWarm)
+	s.ColdSolves = int(m.lpCold.Value() - m.baseCold)
 }

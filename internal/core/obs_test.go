@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"strings"
@@ -21,13 +22,13 @@ import (
 // identical to a bare run.
 func TestObservabilityDoesNotPerturbGeneration(t *testing.T) {
 	in := fp.Format{Bits: 12, ExpBits: 8}
-	bare, err := Generate(Config{Fn: oracle.Exp2, Scheme: poly.EstrinFMA, Input: in, Seed: 11, Workers: 1})
+	bare, err := Generate(context.Background(), Config{Fn: oracle.Exp2, Scheme: poly.EstrinFMA, Input: in, Seed: 11, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var traceBuf bytes.Buffer
-	traced, err := Generate(Config{
+	traced, err := Generate(context.Background(), Config{
 		Fn: oracle.Exp2, Scheme: poly.EstrinFMA, Input: in, Seed: 11, Workers: 4,
 		Metrics: obs.NewRegistry(),
 		Trace:   obs.NewTracer(&traceBuf),
@@ -64,7 +65,7 @@ func TestStatsViewFromRegistry(t *testing.T) {
 	in := fp.Format{Bits: 12, ExpBits: 8}
 	reg := obs.NewRegistry()
 	cfg := Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: in, Seed: 11, Workers: 1, Metrics: reg}
-	first, err := Generate(cfg)
+	first, err := Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestStatsViewFromRegistry(t *testing.T) {
 
 	// Second run into the SAME registry: registry counters accumulate, the
 	// Stats view stays per-run.
-	second, err := Generate(cfg)
+	second, err := Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRunReport(t *testing.T) {
 	rep := NewRunReport("core-test")
 	rep.Config["bits"] = "12"
 	for _, fn := range []oracle.Func{oracle.Exp2, oracle.Log2} {
-		res, err := Generate(Config{Fn: fn, Scheme: poly.Horner, Input: in, Seed: 11, Workers: 1, Metrics: reg})
+		res, err := Generate(context.Background(), Config{Fn: fn, Scheme: poly.Horner, Input: in, Seed: 11, Workers: 1, Metrics: reg})
 		if err != nil {
 			t.Fatal(err)
 		}

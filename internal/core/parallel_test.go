@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -55,7 +56,7 @@ func sameResult(t *testing.T, label string, a, b *Result) {
 func TestGenerateDeterministic(t *testing.T) {
 	in := fp.Format{Bits: 12, ExpBits: 8}
 	base := func(fn oracle.Func, scheme poly.Scheme) *Result {
-		res, err := Generate(Config{Fn: fn, Scheme: scheme, Input: in, Seed: 11, Workers: 1})
+		res, err := Generate(context.Background(), Config{Fn: fn, Scheme: scheme, Input: in, Seed: 11, Workers: 1})
 		if err != nil {
 			t.Fatalf("%v/%v: %v", fn, scheme, err)
 		}
@@ -70,7 +71,7 @@ func TestGenerateDeterministic(t *testing.T) {
 			sameResult(t, fn.String()+"/rerun", ref, base(fn, scheme))
 			// Parallel run: sharded collection + parallel check must reduce
 			// to the identical constraint system and trajectory.
-			par, err := Generate(Config{Fn: fn, Scheme: scheme, Input: in, Seed: 11, Workers: 4})
+			par, err := Generate(context.Background(), Config{Fn: fn, Scheme: scheme, Input: in, Seed: 11, Workers: 4})
 			if err != nil {
 				t.Fatalf("%v/%v workers=4: %v", fn, scheme, err)
 			}
@@ -84,7 +85,7 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestGenerateAllConcurrentSchemesDeterministic(t *testing.T) {
 	in := fp.Format{Bits: 12, ExpBits: 8}
 	schemes := []poly.Scheme{poly.Horner, poly.Knuth, poly.Estrin, poly.EstrinFMA}
-	all, err := GenerateAll(Config{Fn: oracle.Exp2, Input: in, Seed: 11, Workers: 4}, schemes)
+	all, err := GenerateAll(context.Background(), Config{Fn: oracle.Exp2, Input: in, Seed: 11, Workers: 4}, schemes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestGenerateAllConcurrentSchemesDeterministic(t *testing.T) {
 		if all[i].Scheme != scheme {
 			t.Fatalf("result %d has scheme %v, want %v (order must match input)", i, all[i].Scheme, scheme)
 		}
-		solo, err := Generate(Config{Fn: oracle.Exp2, Scheme: scheme, Input: in, Seed: 11, Workers: 1})
+		solo, err := Generate(context.Background(), Config{Fn: oracle.Exp2, Scheme: scheme, Input: in, Seed: 11, Workers: 1})
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
@@ -109,7 +110,7 @@ func TestGenerateParallelCorrect(t *testing.T) {
 		t.Skip("end-to-end pipeline test; skipped with -short")
 	}
 	in := fp.Format{Bits: 16, ExpBits: 8}
-	res, err := Generate(Config{Fn: oracle.Exp2, Scheme: poly.EstrinFMA, Input: in, Seed: 1, Workers: 8})
+	res, err := Generate(context.Background(), Config{Fn: oracle.Exp2, Scheme: poly.EstrinFMA, Input: in, Seed: 1, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -50,6 +51,11 @@ type Stats struct {
 	Iterations      int
 	ConstrainEvents int   // intervals shrunk by the check step
 	LPPivots        int64 // total simplex pivots across every LP solve
+	// WarmResolves counts LP solves served by dual-simplex reoptimization
+	// from the previous basis; ColdSolves counts from-scratch two-phase
+	// solves (always at least one per piece, plus warm-path fallbacks).
+	WarmResolves int
+	ColdSolves   int
 
 	// CollectTime is the wall-clock of the shared oracle/interval collection
 	// pass; SolveTime is the wall-clock of this scheme's generate–check–
@@ -79,9 +85,11 @@ type Result struct {
 
 // Generate runs the full pipeline of Figure 1 and returns a correctly
 // rounded implementation, or an error when no polynomial of the permitted
-// degrees satisfies the constraints.
-func Generate(cfg Config) (*Result, error) {
-	rs, err := GenerateAll(cfg, []poly.Scheme{cfg.Scheme})
+// degrees satisfies the constraints. Canceling ctx stops the run at the
+// next pivot or iteration boundary; the error then wraps ctx.Err() (the LP
+// layer reports it as *lp.CanceledError).
+func Generate(ctx context.Context, cfg Config) (*Result, error) {
+	rs, err := GenerateAll(ctx, cfg, []poly.Scheme{cfg.Scheme})
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +103,10 @@ func Generate(cfg Config) (*Result, error) {
 // schemes solve concurrently (collection is shared and each scheme's loop is
 // independent); results are bit-identical to a serial run because every
 // scheme derives its randomness from its own (Seed, Fn, Scheme) source.
-func GenerateAll(cfg Config, schemes []poly.Scheme) ([]*Result, error) {
+func GenerateAll(ctx context.Context, cfg Config, schemes []poly.Scheme) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -121,7 +132,7 @@ func GenerateAll(cfg Config, schemes []poly.Scheme) ([]*Result, error) {
 	out := make([]*Result, len(schemes))
 	errs := make([]error, len(schemes))
 	solve := func(i int, scheme poly.Scheme) {
-		out[i], errs[i] = generateScheme(cfg, scheme, work, preSpecials, dom, red, stats)
+		out[i], errs[i] = generateScheme(ctx, cfg, scheme, work, preSpecials, dom, red, stats)
 	}
 	if cfg.Workers > 1 && len(schemes) > 1 {
 		var wg sync.WaitGroup
@@ -154,7 +165,7 @@ func GenerateAll(cfg Config, schemes []poly.Scheme) ([]*Result, error) {
 // splitting and the generate–check–constrain loop — over the shared
 // constraint set. work is read-only here: adaptLoop copies the intervals it
 // shrinks, so concurrent schemes never race on it.
-func generateScheme(cfg Config, scheme poly.Scheme, work []*workItem,
+func generateScheme(ctx context.Context, cfg Config, scheme poly.Scheme, work []*workItem,
 	preSpecials map[uint64]float64, dom Domain, red rangered.Reduction, stats Stats) (*Result, error) {
 
 	start := time.Now()
@@ -183,7 +194,7 @@ func generateScheme(cfg Config, scheme poly.Scheme, work []*workItem,
 	}
 	rng := rand.New(rand.NewSource(scfg.Seed + int64(scfg.Fn)<<8 + int64(scheme)))
 	for _, chunk := range chunks {
-		piece, err := solvePiece(&scfg, chunk, rng, res, m)
+		piece, err := solvePiece(ctx, &scfg, chunk, rng, res, m)
 		if err != nil {
 			ssp.End(obs.Attrs{"error": err.Error()})
 			return nil, fmt.Errorf("%v/%v: %w", scfg.Fn, scheme, err)
@@ -526,17 +537,26 @@ func splitByValue(work []*workItem, pieces int) [][]*workItem {
 }
 
 // solvePiece runs Algorithm 2 on one sub-domain, escalating the degree when
-// the iteration budget runs out.
-func solvePiece(cfg *Config, work []*workItem, rng *rand.Rand, res *Result, m *schemeMetrics) (*Piece, error) {
+// the iteration budget runs out. It owns this piece's incremental LP solver:
+// the optimal tableau survives across adaptLoop's constrain iterations, so
+// each re-solve after an interval shrink warm-starts from the previous basis
+// instead of running the two-phase method from nothing (SetDegree resets it
+// when the degree escalates — the variable space changes shape).
+func solvePiece(ctx context.Context, cfg *Config, work []*workItem, rng *rand.Rand, res *Result, m *schemeMetrics) (*Piece, error) {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, it := range work {
 		lo = math.Min(lo, it.R)
 		hi = math.Max(hi, it.R)
 	}
+	solver := lp.NewSolver(lp.Options{Degree: cfg.Degree, WarmStart: !cfg.ColdLP})
 	for degree := cfg.Degree; degree <= cfg.DegreeMax; degree++ {
-		ev, err := adaptLoop(cfg, work, degree, rng, res, m)
+		solver.SetDegree(degree)
+		ev, err := adaptLoop(ctx, cfg, solver, work, degree, rng, res, m)
 		if err == nil {
 			return &Piece{Lo: lo, Hi: hi, Coeffs: ev.Coeffs, Eval: ev}, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err // canceled: escalating the degree would just re-fail
 		}
 		cfg.Trace.Event("degree.failed", obs.Attrs{
 			"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
@@ -570,8 +590,11 @@ func demoteItem(cfg *Config, res *Result, it *workItem, budget int) (int, error)
 
 // adaptLoop is Algorithm 2: LP-solve on a sample, adapt for the scheme,
 // validate everything with the real float64 evaluation, constrain violated
-// intervals, repeat.
-func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *Result, m *schemeMetrics) (*poly.Evaluator, error) {
+// intervals, repeat. Each iteration hands the solver its complete current
+// constraint set: the solver prunes what it already knows, appends what is
+// new or tighter, and reoptimizes from the previous basis (resetting itself
+// when a constraint disappears via demotion — see lp.Solver.Solve).
+func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*workItem, degree int, rng *rand.Rand, res *Result, m *schemeMetrics) (*poly.Evaluator, error) {
 	// Work on copies of the intervals: interval shrinking is per (degree,
 	// scheme) attempt.
 	items := make([]workItem, len(work))
@@ -621,6 +644,9 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 	vals := make([]float64, len(live))
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("generation canceled: %w", err)
+		}
 		m.iterations.Inc()
 		isp := cfg.Trace.StartSpan("iteration", obs.Attrs{
 			"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
@@ -652,9 +678,14 @@ func adaptLoop(cfg *Config, work []*workItem, degree int, rng *rand.Rand, res *R
 		}
 		m.lpSolves.Inc()
 		lpStart := time.Now()
-		coeffs, lpStats, lpErr := lp.SolvePolyStats(cons, degree, 0)
+		lpRes, lpErr := solver.Solve(ctx, cons)
+		coeffs, lpStats := lpRes.Coeffs, lpRes.Stats
 		lpDur := time.Since(lpStart)
 		m.observeLP(lpStats, lpDur, lpErr)
+		if isCanceled(lpErr) {
+			isp.End(obs.Attrs{"lp": "canceled", "error": lpErr.Error()})
+			return nil, fmt.Errorf("generation canceled: %w", lpErr)
+		}
 		if isPivotLimit(lpErr) {
 			// Cycling guard tripped — nothing useful can come from demoting
 			// constraints, so abort this degree attempt with the cause.

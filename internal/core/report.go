@@ -49,6 +49,8 @@ type SchemeReport struct {
 	Constraints     int   `json:"constraints,omitempty"`
 	LPSolves        int   `json:"lp_solves,omitempty"`
 	LPPivots        int64 `json:"lp_pivots,omitempty"`
+	LPWarmResolves  int   `json:"lp_warm_resolves,omitempty"`
+	LPColdSolves    int   `json:"lp_cold_solves,omitempty"`
 	Iterations      int   `json:"iterations,omitempty"`
 	ConstrainEvents int   `json:"constrain_events,omitempty"`
 
@@ -77,6 +79,8 @@ func (r *RunReport) AddResult(res *Result) {
 		Constraints:     res.Stats.Constraints,
 		LPSolves:        res.Stats.LPSolves,
 		LPPivots:        res.Stats.LPPivots,
+		LPWarmResolves:  res.Stats.WarmResolves,
+		LPColdSolves:    res.Stats.ColdSolves,
 		Iterations:      res.Stats.Iterations,
 		ConstrainEvents: res.Stats.ConstrainEvents,
 		CollectMs:       float64(res.Stats.CollectTime) / float64(time.Millisecond),

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+// TestGenerateWarmColdIdentical: the pipeline-level determinism contract of
+// the incremental LP engine — running the whole generate–check–constrain
+// loop with warm starts enabled produces bit-identical coefficients to the
+// same run with Config.ColdLP forcing a from-scratch solve every iteration.
+func TestGenerateWarmColdIdentical(t *testing.T) {
+	cfgFor := func(cold bool) Config {
+		return Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 3, ColdLP: cold}
+	}
+	warm, err := Generate(context.Background(), cfgFor(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Generate(context.Background(), cfgFor(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warm.Stats.WarmResolves == 0 {
+		t.Error("warm run reports zero warm resolves; the incremental engine never engaged")
+	}
+	if cold.Stats.WarmResolves != 0 {
+		t.Errorf("ColdLP run reports %d warm resolves, want 0", cold.Stats.WarmResolves)
+	}
+	if cold.Stats.ColdSolves == 0 {
+		t.Error("ColdLP run reports zero cold solves")
+	}
+
+	if len(warm.Pieces) != len(cold.Pieces) {
+		t.Fatalf("piece count differs: warm %d, cold %d", len(warm.Pieces), len(cold.Pieces))
+	}
+	for i := range warm.Pieces {
+		wc, cc := warm.Pieces[i].Coeffs, cold.Pieces[i].Coeffs
+		if len(wc) != len(cc) {
+			t.Fatalf("piece %d coefficient count differs: warm %d, cold %d", i, len(wc), len(cc))
+		}
+		for j := range wc {
+			if math.Float64bits(wc[j]) != math.Float64bits(cc[j]) {
+				t.Errorf("piece %d coeff %d differs: warm %v (%#x), cold %v (%#x)",
+					i, j, wc[j], math.Float64bits(wc[j]), cc[j], math.Float64bits(cc[j]))
+			}
+		}
+	}
+}
+
+// TestGenerateCanceled: a canceled context aborts generation with an error
+// that unwraps to context.Canceled rather than producing a partial result.
+func TestGenerateCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Generate(ctx, Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: fp.Bfloat16, Seed: 1})
+	if err == nil {
+		t.Fatalf("Generate with canceled context succeeded: %v", res.Describe())
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// TestGenerateAllCanceled: GenerateAll propagates cancellation from every
+// concurrent scheme loop.
+func TestGenerateAllCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := GenerateAll(ctx, Config{Fn: oracle.Exp2, Input: fp.Bfloat16, Seed: 1}, poly.PaperSchemes)
+	if err == nil {
+		t.Fatal("GenerateAll with canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+}

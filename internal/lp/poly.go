@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math/big"
 )
 
@@ -17,6 +18,9 @@ type Constraint struct {
 // the subsequent rounding of the exact rational coefficients to double far
 // more likely to preserve feasibility. Returns ok=false when the system is
 // infeasible.
+//
+// Deprecated: one-shot wrapper over Solver; loop callers should hold a
+// Solver to get warm-started resolves.
 func SolvePoly(cons []Constraint, degree int) (coeffs []*big.Rat, ok bool) {
 	coeffs, _, err := SolvePolyStats(cons, degree, DefaultMaxPivots)
 	return coeffs, err == nil
@@ -25,73 +29,18 @@ func SolvePoly(cons []Constraint, degree int) (coeffs []*big.Rat, ok bool) {
 // SolvePolyStats is SolvePoly with observability: it additionally returns
 // the solve statistics (tableau dimensions, per-phase pivot counts) and a
 // typed error distinguishing infeasibility from unboundedness from the
-// pivot-limit backstop (see SolveStandardStats). maxPivots <= 0 selects
-// DefaultMaxPivots.
+// pivot-limit backstop. maxPivots <= 0 selects DefaultMaxPivots. The LP
+// formulation (variables c_j = p_j - q_j split into nonnegative pairs, a
+// margin variable t <= 1, one slack per inequality row) now lives in
+// Solver.coldResolve.
+//
+// Deprecated: one-shot wrapper over Solver; loop callers should hold a
+// Solver to get warm-started resolves.
 func SolvePolyStats(cons []Constraint, degree, maxPivots int) (coeffs []*big.Rat, st Stats, err error) {
-	nc := degree + 1
-	// Variables: c_j = p_j - q_j (p,q >= 0), margin variable t >= 0,
-	// plus one slack per inequality row.
-	//
-	// Rows, per constraint i with half-width w_i = (Hi-Lo)/2:
-	//	 P(X_i) - w_i*t - s1_i          = Lo_i      (P >= Lo + w*t)
-	//	 P(X_i) + w_i*t + s2_i          = Hi_i      (P <= Hi - w*t)
-	// and one row bounding the margin:
-	//	 t + s3 = 1
-	// Objective: maximize t (minimize -t).
-	m := 2*len(cons) + 1
-	n := 2*nc + 1 + m // c+/c- , t, one slack per row
-	a := make([][]*big.Rat, m)
-	b := make([]*big.Rat, m)
-	for i := range a {
-		a[i] = make([]*big.Rat, n)
-		for j := range a[i] {
-			a[i][j] = new(big.Rat)
-		}
-	}
-	tVar := 2 * nc
-	slack0 := 2*nc + 1
-
-	pow := new(big.Rat)
-	for i, c := range cons {
-		w := new(big.Rat).Sub(c.Hi, c.Lo)
-		w.Mul(w, big.NewRat(1, 2))
-		lo, hi := 2*i, 2*i+1
-		pow.SetInt64(1)
-		for j := 0; j < nc; j++ {
-			a[lo][2*j].Set(pow)
-			a[lo][2*j+1].Neg(pow)
-			a[hi][2*j].Set(pow)
-			a[hi][2*j+1].Neg(pow)
-			pow.Mul(pow, c.X)
-		}
-		a[lo][tVar].Neg(w)
-		a[hi][tVar].Set(w)
-		a[lo][slack0+lo].SetInt64(-1)
-		a[hi][slack0+hi].SetInt64(1)
-		b[lo] = new(big.Rat).Set(c.Lo)
-		b[hi] = new(big.Rat).Set(c.Hi)
-	}
-	// t <= 1.
-	last := m - 1
-	a[last][tVar].SetInt64(1)
-	a[last][slack0+last].SetInt64(1)
-	b[last] = big.NewRat(1, 1)
-
-	cost := make([]*big.Rat, n)
-	for j := range cost {
-		cost[j] = new(big.Rat)
-	}
-	cost[tVar].SetInt64(-1) // maximize t
-
-	z, st, err := SolveStandardStats(a, b, cost, maxPivots)
-	if err != nil {
-		return nil, st, err
-	}
-	coeffs = make([]*big.Rat, nc)
-	for j := 0; j < nc; j++ {
-		coeffs[j] = new(big.Rat).Sub(z[2*j], z[2*j+1])
-	}
-	return coeffs, st, nil
+	s := NewSolver(Options{Degree: degree, MaxPivots: maxPivots})
+	s.AddConstraints(cons...)
+	res, err := s.Resolve(context.Background())
+	return res.Coeffs, res.Stats, err
 }
 
 // CheckPoly reports whether the exact rational polynomial satisfies every

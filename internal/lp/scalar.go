@@ -1,0 +1,279 @@
+package lp
+
+import "math/big"
+
+// sc is the exact rational scalar of the pivot kernel. Values that fit in
+// small int64 fractions stay on a fast path that does plain integer
+// arithmetic and defers normalization (no GCD per operation — the fraction
+// is reduced lazily, only when a result would otherwise outgrow the small
+// bounds); everything else promotes to big.Rat, which normalizes eagerly as
+// usual. The slack and artificial columns of the generator's tableaus are
+// almost entirely 0/±1 and stay small through many pivots, which is where
+// the fast path pays.
+//
+// Invariants: when r == nil the value is n/den() with d >= 0 and
+// |n|, d <= scSmallMax (not necessarily reduced); d == 0 is read as 1, so
+// the zero value sc{} is a valid 0 and tableau rows need no initialization
+// pass. When r != nil the value is r (normalized, as big.Rat maintains) and
+// n/d are meaningless.
+//
+// All comparisons are exact and representation-independent, so replacing
+// *big.Rat with sc cannot change a pivot decision.
+type sc struct {
+	n, d int64
+	r    *big.Rat
+}
+
+// scSmallMax bounds the small path so that the product of two small values'
+// components fits comfortably in an int64 (2^30 * 2^30 = 2^60 < 2^63).
+const scSmallMax = 1 << 30
+
+// den returns the small-path denominator, reading the zero value's d == 0
+// as 1.
+func (a *sc) den() int64 {
+	if a.d == 0 {
+		return 1
+	}
+	return a.d
+}
+
+func (a *sc) setZero() { a.n, a.d, a.r = 0, 1, nil }
+
+func (a *sc) setInt64(v int64) {
+	if -scSmallMax <= v && v <= scSmallMax {
+		a.n, a.d, a.r = v, 1, nil
+		return
+	}
+	a.r = new(big.Rat).SetInt64(v)
+}
+
+// setRat copies x into a, demoting to the small path when it fits.
+func (a *sc) setRat(x *big.Rat) {
+	if x.Num().IsInt64() && x.Denom().IsInt64() {
+		n, d := x.Num().Int64(), x.Denom().Int64()
+		if -scSmallMax <= n && n <= scSmallMax && d <= scSmallMax {
+			a.n, a.d, a.r = n, d, nil
+			return
+		}
+	}
+	a.r = new(big.Rat).Set(x)
+}
+
+func (a *sc) set(b *sc) {
+	if b.r == nil {
+		a.n, a.d, a.r = b.n, b.den(), nil
+		return
+	}
+	if a.r == nil || a.r == b.r {
+		a.r = new(big.Rat)
+	}
+	a.r.Set(b.r)
+}
+
+// rat returns a freshly allocated big.Rat with a's value.
+func (a *sc) rat() *big.Rat {
+	if a.r == nil {
+		return big.NewRat(a.n, a.den())
+	}
+	return new(big.Rat).Set(a.r)
+}
+
+// bigVal returns a's value, using scratch when a is on the small path.
+func (a *sc) bigVal(scratch *big.Rat) *big.Rat {
+	if a.r != nil {
+		return a.r
+	}
+	return scratch.SetFrac64(a.n, a.den())
+}
+
+func (a *sc) sign() int {
+	if a.r != nil {
+		return a.r.Sign()
+	}
+	switch {
+	case a.n > 0:
+		return 1
+	case a.n < 0:
+		return -1
+	}
+	return 0
+}
+
+func (a *sc) isZero() bool { return a.sign() == 0 }
+
+// cmp compares a and b exactly.
+func (a *sc) cmp(b *sc) int {
+	if a.r == nil && b.r == nil {
+		// a.n/a.d vs b.n/b.d with positive denominators: cross-multiply.
+		// Products are bounded by 2^60, no overflow possible.
+		l, r := a.n*b.den(), b.n*a.den()
+		switch {
+		case l < r:
+			return -1
+		case l > r:
+			return 1
+		}
+		return 0
+	}
+	var s1, s2 big.Rat
+	return a.bigVal(&s1).Cmp(b.bigVal(&s2))
+}
+
+func (a *sc) neg() {
+	if a.r == nil {
+		a.n = -a.n
+		return
+	}
+	a.r.Neg(a.r)
+}
+
+// smallReduce tries to bring n/d back under the small bounds by dividing out
+// the GCD (the lazy normalization step). Reports whether it succeeded.
+func smallReduce(n, d int64) (int64, int64, bool) {
+	if n == 0 {
+		return 0, 1, true
+	}
+	a, b := n, d
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	n, d = n/a, d/a
+	ok := -scSmallMax <= n && n <= scSmallMax && d <= scSmallMax
+	return n, d, ok
+}
+
+// setSmall stores n/d (d > 0), reducing lazily and promoting to big only
+// when the reduced fraction still exceeds the small bounds.
+func (a *sc) setSmall(n, d int64) {
+	if -scSmallMax <= n && n <= scSmallMax && d <= scSmallMax {
+		a.n, a.d, a.r = n, d, nil
+		return
+	}
+	if rn, rd, ok := smallReduce(n, d); ok {
+		a.n, a.d, a.r = rn, rd, nil
+		return
+	}
+	if a.r == nil {
+		a.r = new(big.Rat)
+	}
+	a.r.SetFrac64(n, d)
+}
+
+// mulOK multiplies two int64s, reporting overflow.
+func mulOK(x, y int64) (int64, bool) {
+	if x == 0 || y == 0 {
+		return 0, true
+	}
+	z := x * y
+	if z/y != x {
+		return 0, false
+	}
+	return z, true
+}
+
+// subMul computes a -= f*y.
+func (a *sc) subMul(f, y *sc) {
+	fs, ys := f.sign(), y.sign()
+	if fs == 0 || ys == 0 {
+		return
+	}
+	if a.r == nil && f.r == nil && y.r == nil {
+		// a.n/a.d - (f.n*y.n)/(f.d*y.d)
+		// = (a.n*f.d*y.d - f.n*y.n*a.d) / (a.d*f.d*y.d).
+		// Each pairwise product of small components is < 2^60; the triple
+		// products need an overflow check.
+		ad := a.den()
+		fy := f.den() * y.den() // < 2^60
+		if num1, ok := mulOK(a.n, fy); ok {
+			fn := f.n * y.n // < 2^60
+			if num2, ok := mulOK(fn, ad); ok {
+				if num, ok := sub64OK(num1, num2); ok {
+					if den, ok := mulOK(ad, fy); ok {
+						a.setSmall(num, den)
+						return
+					}
+				}
+			}
+		}
+	}
+	var s1, s2, s3 big.Rat
+	av := a.bigVal(&s1)
+	prod := s2.Mul(f.bigVal(&s3), y.bigVal(new(big.Rat)))
+	if a.r == nil {
+		a.r = new(big.Rat)
+	}
+	a.r.Sub(av, prod)
+	a.demote()
+}
+
+// sub64OK subtracts with overflow detection.
+func sub64OK(x, y int64) (int64, bool) {
+	z := x - y
+	if (y > 0 && z > x) || (y < 0 && z < x) {
+		return 0, false
+	}
+	return z, true
+}
+
+// mul computes a *= b.
+func (a *sc) mul(b *sc) {
+	if a.r == nil && b.r == nil {
+		a.setSmall(a.n*b.n, a.den()*b.den()) // products < 2^60, safe
+		return
+	}
+	var s1, s2 big.Rat
+	av, bv := a.bigVal(&s1), b.bigVal(&s2)
+	if a.r == nil {
+		a.r = new(big.Rat)
+	}
+	a.r.Mul(av, bv)
+	a.demote()
+}
+
+// div computes a /= b (b must be nonzero).
+func (a *sc) div(b *sc) {
+	if a.r == nil && b.r == nil {
+		n, d := a.n*b.den(), a.den()*b.n // products < 2^60
+		if d < 0 {
+			n, d = -n, -d
+		}
+		a.setSmall(n, d)
+		return
+	}
+	var s1, s2 big.Rat
+	av, bv := a.bigVal(&s1), b.bigVal(&s2)
+	if a.r == nil {
+		a.r = new(big.Rat)
+	}
+	a.r.Quo(av, bv)
+	a.demote()
+}
+
+// demote moves a big value that shrank back onto the small path, so a burst
+// of large intermediate values does not pin an entry on the slow path
+// forever.
+func (a *sc) demote() {
+	if a.r == nil {
+		return
+	}
+	if a.r.Num().IsInt64() && a.r.Denom().IsInt64() {
+		n, d := a.r.Num().Int64(), a.r.Denom().Int64()
+		if -scSmallMax <= n && n <= scSmallMax && d <= scSmallMax {
+			a.n, a.d, a.r = n, d, nil
+		}
+	}
+}
+
+// cmpProd compares a1*b1 with a2*b2 exactly — the cross-multiplied ratio
+// test, which avoids materializing quotients.
+func cmpProd(a1, b1, a2, b2 *sc) int {
+	var l, r sc
+	l.set(a1)
+	l.mul(b1)
+	r.set(a2)
+	r.mul(b2)
+	return l.cmp(&r)
+}

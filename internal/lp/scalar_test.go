@@ -1,0 +1,154 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randomSc returns an sc and its reference value, spanning the small path,
+// values near the promotion boundary, and genuinely big rationals.
+func randomSc(rng *rand.Rand) (*sc, *big.Rat) {
+	var v sc
+	switch rng.Intn(3) {
+	case 0: // comfortably small
+		n, d := rng.Int63n(2000)-1000, rng.Int63n(999)+1
+		v.setSmall(n, d)
+	case 1: // near the small bound
+		n := scSmallMax - rng.Int63n(3)
+		if rng.Intn(2) == 0 {
+			n = -n
+		}
+		d := scSmallMax - rng.Int63n(3)
+		v.setSmall(n, d)
+	default: // big
+		num := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 80))
+		den := new(big.Int).Add(new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 80)), big.NewInt(1))
+		r := new(big.Rat).SetFrac(num, den)
+		if rng.Intn(2) == 0 {
+			r.Neg(r)
+		}
+		v.setRat(r)
+	}
+	return &v, v.rat()
+}
+
+// TestScalarOpsMatchBigRat cross-checks every sc operation against plain
+// big.Rat arithmetic over randomized operands from all representation
+// regimes (small, boundary, big).
+func TestScalarOpsMatchBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		a, ra := randomSc(rng)
+		b, rb := randomSc(rng)
+		f, rf := randomSc(rng)
+
+		if got, want := a.cmp(b), ra.Cmp(rb); got != want {
+			t.Fatalf("cmp(%v, %v) = %d, want %d", ra, rb, got, want)
+		}
+		if got, want := a.sign(), ra.Sign(); got != want {
+			t.Fatalf("sign(%v) = %d, want %d", ra, got, want)
+		}
+
+		var x sc
+		x.set(a)
+		x.subMul(f, b) // x = a - f*b
+		want := new(big.Rat).Sub(ra, new(big.Rat).Mul(rf, rb))
+		if x.rat().Cmp(want) != 0 {
+			t.Fatalf("subMul: %v - %v*%v = %v, want %v", ra, rf, rb, x.rat(), want)
+		}
+
+		x.set(a)
+		x.mul(b)
+		want = new(big.Rat).Mul(ra, rb)
+		if x.rat().Cmp(want) != 0 {
+			t.Fatalf("mul: %v * %v = %v, want %v", ra, rb, x.rat(), want)
+		}
+
+		if rb.Sign() != 0 {
+			x.set(a)
+			x.div(b)
+			want = new(big.Rat).Quo(ra, rb)
+			if x.rat().Cmp(want) != 0 {
+				t.Fatalf("div: %v / %v = %v, want %v", ra, rb, x.rat(), want)
+			}
+		}
+
+		x.set(a)
+		x.neg()
+		want = new(big.Rat).Neg(ra)
+		if x.rat().Cmp(want) != 0 {
+			t.Fatalf("neg(%v) = %v", ra, x.rat())
+		}
+
+		if got, want := cmpProd(a, b, f, a), new(big.Rat).Mul(ra, rb).Cmp(new(big.Rat).Mul(rf, ra)); got != want {
+			t.Fatalf("cmpProd(%v*%v, %v*%v) = %d, want %d", ra, rb, rf, ra, got, want)
+		}
+	}
+}
+
+// TestScalarZeroValue: the zero value sc{} must behave as an exact 0 in
+// every operation — tableau rows are allocated with make and never
+// initialized.
+func TestScalarZeroValue(t *testing.T) {
+	var z sc
+	if !z.isZero() || z.sign() != 0 {
+		t.Fatal("zero value is not zero")
+	}
+	if z.rat().Sign() != 0 {
+		t.Fatalf("zero value rat = %v", z.rat())
+	}
+	var one sc
+	one.setInt64(1)
+	if z.cmp(&one) != -1 || one.cmp(&z) != 1 {
+		t.Fatal("zero value compares wrong against 1")
+	}
+	var x sc
+	x.set(&z)
+	x.subMul(&one, &one) // 0 - 1*1 = -1
+	if x.rat().Cmp(big.NewRat(-1, 1)) != 0 {
+		t.Fatalf("0 - 1*1 = %v", x.rat())
+	}
+	var y sc
+	y.set(&one)
+	y.div(&one)
+	y.mul(&z)
+	if !y.isZero() {
+		t.Fatalf("1*0 = %v", y.rat())
+	}
+}
+
+// TestScalarPromotionDemotion: results that outgrow the small bounds
+// promote to big.Rat and shrink back down when the value allows.
+func TestScalarPromotionDemotion(t *testing.T) {
+	var a, b sc
+	a.setSmall(scSmallMax-1, 1)
+	b.setSmall(scSmallMax-1, 1)
+	a.mul(&b) // (2^30-1)^2 does not fit the small path
+	if a.r == nil {
+		t.Fatal("overflowing product stayed on the small path")
+	}
+	want := new(big.Rat).SetInt64(scSmallMax - 1)
+	want.Mul(want, want)
+	if a.rat().Cmp(want) != 0 {
+		t.Fatalf("promoted product = %v, want %v", a.rat(), want)
+	}
+	// Dividing back down demotes.
+	a.div(&b)
+	if a.r != nil {
+		t.Fatalf("value %v did not demote to the small path", a.rat())
+	}
+	if a.rat().Cmp(big.NewRat(scSmallMax-1, 1)) != 0 {
+		t.Fatalf("demoted value = %v", a.rat())
+	}
+	// Lazy reduction: an unreduced fraction over the bound reduces instead
+	// of promoting when the GCD allows.
+	var c sc
+	c.setSmall(6*(scSmallMax/2), 4*(scSmallMax/2))
+	if c.r != nil {
+		t.Fatalf("reducible fraction promoted: %v", c.rat())
+	}
+	if c.rat().Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("reduced value = %v, want 3/2", c.rat())
+	}
+}

@@ -5,176 +5,27 @@
 //	l_i  <=  C_0 + C_1*x_i + ... + C_d*x_i^d  <=  h_i
 //
 // for every (reduced input, reduced interval) constraint. All arithmetic is
-// over big.Rat, so feasibility answers are exact; floating point enters the
-// pipeline only when the generator rounds the solution's coefficients to
-// double — the non-linear step the generate–check–constrain loop absorbs.
+// exact rational, so feasibility answers are exact; floating point enters
+// the pipeline only when the generator rounds the solution's coefficients
+// to double — the non-linear step the generate–check–constrain loop
+// absorbs.
+//
+// The package's primary entry point is the incremental Solver, which keeps
+// the optimal tableau alive across the loop's repeated solves and
+// reoptimizes with the dual simplex (see solver.go). The free functions
+// below predate it and remain as thin wrappers.
 package lp
 
 import (
 	"math/big"
 )
 
-// simplex is a dense exact-rational tableau solver: minimize c·z subject to
-// A z = b, z >= 0, via the two-phase method with Bland's anti-cycling rule.
-type simplex struct {
-	m, n  int          // rows, columns (excluding b column / objective row)
-	t     [][]*big.Rat // (m+1) x (n+1) tableau; last row objective, last col b
-	basis []int        // basic variable per row
-	// forbidden marks columns that may not enter the basis (phase-1
-	// artificials during phase 2).
-	forbidden []bool
-}
-
-func ratZero() *big.Rat   { return new(big.Rat) }
-func ratOne() *big.Rat    { return new(big.Rat).SetInt64(1) }
-func ratNegOne() *big.Rat { return new(big.Rat).SetInt64(-1) }
-
-// newSimplex builds an empty tableau with m constraint rows and n variables.
-func newSimplex(m, n int) *simplex {
-	s := &simplex{m: m, n: n, basis: make([]int, m), forbidden: make([]bool, n)}
-	s.t = make([][]*big.Rat, m+1)
-	for i := range s.t {
-		s.t[i] = make([]*big.Rat, n+1)
-		for j := range s.t[i] {
-			s.t[i][j] = ratZero()
-		}
-	}
-	return s
-}
-
-// pivot performs a full tableau pivot on (row, col).
-func (s *simplex) pivot(row, col int) {
-	p := s.t[row][col]
-	inv := new(big.Rat).Inv(p)
-	for j := 0; j <= s.n; j++ {
-		s.t[row][j].Mul(s.t[row][j], inv)
-	}
-	tmp := new(big.Rat)
-	for i := 0; i <= s.m; i++ {
-		if i == row {
-			continue
-		}
-		f := s.t[i][col]
-		if f.Sign() == 0 {
-			continue
-		}
-		fc := new(big.Rat).Set(f)
-		for j := 0; j <= s.n; j++ {
-			tmp.Mul(fc, s.t[row][j])
-			s.t[i][j].Sub(s.t[i][j], tmp)
-		}
-	}
-	s.basis[row] = col
-}
-
-// iterStatus is the outcome of a run of simplex iterations.
-type iterStatus int
-
-const (
-	iterOptimal iterStatus = iota
-	iterUnbounded
-	iterPivotLimit
-)
-
-// iterate runs simplex iterations until optimality (no negative reduced
-// cost), unboundedness, or the pivot budget runs out. Each pivot increments
-// *pivots; when *pivots reaches limit the iteration stops with
-// iterPivotLimit — the backstop against degenerate cycling (Bland's rule
-// precludes true cycles, but the Dantzig phase and pathological inputs can
-// still pivot far beyond any useful bound).
-//
-// Pricing starts with Dantzig's rule (most negative reduced cost — far
-// fewer pivots in practice) and falls back to Bland's anti-cycling rule
-// after a long run of degenerate pivots.
-func (s *simplex) iterate(pivots *int, limit int) iterStatus {
-	degenerate := 0
-	for {
-		if *pivots >= limit {
-			return iterPivotLimit
-		}
-		bland := degenerate > 2*(s.m+s.n)
-		col := -1
-		for j := 0; j < s.n; j++ {
-			if s.forbidden[j] || s.t[s.m][j].Sign() >= 0 {
-				continue
-			}
-			if col < 0 {
-				col = j
-				if bland {
-					break
-				}
-				continue
-			}
-			if s.t[s.m][j].Cmp(s.t[s.m][col]) < 0 {
-				col = j
-			}
-		}
-		if col < 0 {
-			return iterOptimal
-		}
-		// Ratio test; ties broken by the lowest basic variable index
-		// (Bland).
-		row := -1
-		var best *big.Rat
-		for i := 0; i < s.m; i++ {
-			if s.t[i][col].Sign() <= 0 {
-				continue
-			}
-			ratio := new(big.Rat).Quo(s.t[i][s.n], s.t[i][col])
-			if row < 0 || ratio.Cmp(best) < 0 ||
-				(ratio.Cmp(best) == 0 && s.basis[i] < s.basis[row]) {
-				row, best = i, ratio
-			}
-		}
-		if row < 0 {
-			return iterUnbounded
-		}
-		if s.t[row][s.n].Sign() == 0 {
-			degenerate++
-		} else {
-			degenerate = 0
-		}
-		s.pivot(row, col)
-		*pivots++
-	}
-}
-
-// objective returns the current objective value (the tableau keeps its
-// negation in the corner).
-func (s *simplex) objective() *big.Rat {
-	return new(big.Rat).Neg(s.t[s.m][s.n])
-}
-
-// canonicalizeObjective eliminates the basic variables from the objective
-// row so reduced costs are valid for the current basis.
-func (s *simplex) canonicalizeObjective() {
-	tmp := new(big.Rat)
-	for i := 0; i < s.m; i++ {
-		f := s.t[s.m][s.basis[i]]
-		if f.Sign() == 0 {
-			continue
-		}
-		fc := new(big.Rat).Set(f)
-		for j := 0; j <= s.n; j++ {
-			tmp.Mul(fc, s.t[i][j])
-			s.t[s.m][j].Sub(s.t[s.m][j], tmp)
-		}
-	}
-}
-
-// solution extracts the value of variable j.
-func (s *simplex) solution(j int) *big.Rat {
-	for i := 0; i < s.m; i++ {
-		if s.basis[i] == j {
-			return new(big.Rat).Set(s.t[i][s.n])
-		}
-	}
-	return ratZero()
-}
-
 // SolveStandard minimizes cost·z subject to A z = b, z >= 0 (all exact
 // rationals; b may have any signs). It returns the optimal z, or ok=false
 // when infeasible or unbounded (or the DefaultMaxPivots backstop fires).
+//
+// Deprecated: one-shot entry point kept for existing callers; new code
+// solving the generator's polynomial systems should use Solver.
 func SolveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (z []*big.Rat, ok bool) {
 	z, _, err := SolveStandardStats(a, b, cost, DefaultMaxPivots)
 	return z, err == nil
@@ -185,78 +36,33 @@ func SolveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) (z []*big.Rat,
 // error distinguishing the failure causes (ErrInfeasible, ErrUnbounded, or
 // a *PivotLimitError when more than maxPivots pivots were attempted;
 // maxPivots <= 0 selects DefaultMaxPivots).
+//
+// Deprecated: one-shot entry point kept for existing callers; new code
+// solving the generator's polynomial systems should use Solver.
 func SolveStandardStats(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat, maxPivots int) (z []*big.Rat, st Stats, err error) {
 	if maxPivots <= 0 {
 		maxPivots = DefaultMaxPivots
 	}
 	m, n := len(a), len(cost)
 	st.Rows, st.Cols = m, n
-	// Phase 1 tableau: n real variables + m artificials.
-	s := newSimplex(m, n+m)
+	tb := newTableau(m, n)
 	for i := 0; i < m; i++ {
-		neg := b[i].Sign() < 0
 		for j := 0; j < n; j++ {
-			s.t[i][j].Set(a[i][j])
-			if neg {
-				s.t[i][j].Neg(s.t[i][j])
-			}
+			tb.rows[i][j].setRat(a[i][j])
 		}
-		s.t[i][s.n].Set(b[i])
-		if neg {
-			s.t[i][s.n].Neg(s.t[i][s.n])
-		}
-		s.t[i][n+i].SetInt64(1)
-		s.basis[i] = n + i
+		tb.rows[i][n].setRat(b[i])
 	}
-	// Phase-1 objective: minimize the sum of artificials.
-	for i := 0; i < m; i++ {
-		s.t[s.m][n+i].SetInt64(1)
-	}
-	s.canonicalizeObjective()
-	switch s.iterate(&st.Phase1Pivots, maxPivots) {
-	case iterPivotLimit:
-		return nil, st, &PivotLimitError{Phase: 1, Limit: maxPivots}
-	case iterUnbounded:
-		return nil, st, ErrUnbounded // cannot happen (phase 1 is bounded) but be safe
-	}
-	if s.objective().Sign() != 0 {
-		return nil, st, ErrInfeasible
-	}
-	// Drive basic artificials out where possible; leftover degenerate rows
-	// are harmless once artificial columns are forbidden. These pivots are
-	// bounded by m and charged to phase 1.
-	for i := 0; i < m; i++ {
-		if s.basis[i] < n {
-			continue
-		}
-		for j := 0; j < n; j++ {
-			if s.t[i][j].Sign() != 0 {
-				s.pivot(i, j)
-				st.Phase1Pivots++
-				break
-			}
-		}
-	}
-	// Phase 2: swap in the real objective and forbid artificials.
-	for j := 0; j <= s.n; j++ {
-		s.t[s.m][j].SetInt64(0)
-	}
+	cost2 := make([]sc, n)
 	for j := 0; j < n; j++ {
-		s.t[s.m][j].Set(cost[j])
+		cost2[j].setRat(cost[j])
 	}
-	for j := n; j < s.n; j++ {
-		s.forbidden[j] = true
-	}
-	s.canonicalizeObjective()
-	switch s.iterate(&st.Phase2Pivots, maxPivots-st.Phase1Pivots) {
-	case iterPivotLimit:
-		return nil, st, &PivotLimitError{Phase: 2, Limit: maxPivots}
-	case iterUnbounded:
-		return nil, st, ErrUnbounded
+	if err := tb.twoPhase(nil, cost2, maxPivots, &st); err != nil {
+		return nil, st, err
 	}
 	z = make([]*big.Rat, n)
 	for j := 0; j < n; j++ {
-		z[j] = s.solution(j)
+		v := tb.solution(j)
+		z[j] = v.rat()
 	}
 	return z, st, nil
 }

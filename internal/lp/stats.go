@@ -15,12 +15,28 @@ type Stats struct {
 	Rows, Cols int
 	// Phase1Pivots counts the feasibility-phase pivots (including the
 	// artificial-variable drive-out); Phase2Pivots counts the optimization
-	// phase.
+	// phase. Both are zero on a warm-started resolve, which skips the
+	// two-phase method entirely.
 	Phase1Pivots, Phase2Pivots int
+	// DualPivots counts the dual-simplex pivots of a warm-started resolve
+	// (reoptimization from the previous optimal basis).
+	DualPivots int
+	// CanonPivots counts the lexicographic-canonicalization pivots that pin
+	// the solution to the unique lex-min optimum (run under its own budget,
+	// not charged against MaxPivots).
+	CanonPivots int
+	// Warm reports that this solve reused the previous optimal basis.
+	Warm bool
+	// Canonical reports that the canonicalization pass completed, making
+	// the returned coefficients independent of the pivot path taken.
+	Canonical bool
 }
 
-// Pivots returns the total pivot count across both phases.
-func (s Stats) Pivots() int { return s.Phase1Pivots + s.Phase2Pivots }
+// Pivots returns the total pivot count across all phases, including
+// warm-start reoptimization and canonicalization.
+func (s Stats) Pivots() int {
+	return s.Phase1Pivots + s.Phase2Pivots + s.DualPivots + s.CanonPivots
+}
 
 // DefaultMaxPivots bounds the simplex pivots per solve. The generator's
 // systems pivot tens to hundreds of times; a run beyond this bound means
@@ -49,10 +65,29 @@ func (e *PivotLimitError) Error() string {
 		e.Phase, e.Limit)
 }
 
+// CanceledError reports that a solve was interrupted by its
+// context.Context before reaching a verdict. It wraps the context error, so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded work.
+type CanceledError struct {
+	// Phase names the stage that observed the cancellation: "phase1",
+	// "phase2", "dual", or "canonicalize".
+	Phase string
+	// Err is the context's error.
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("lp: solve canceled during %s: %v", e.Phase, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
+
 // InfeasibilityCause classifies err for metrics labels: "infeasible",
-// "unbounded", "pivot-limit", or "" for nil/unrecognized errors.
+// "unbounded", "pivot-limit", "canceled", or "" for nil/unrecognized
+// errors.
 func InfeasibilityCause(err error) string {
 	var pl *PivotLimitError
+	var ce *CanceledError
 	switch {
 	case err == nil:
 		return ""
@@ -62,6 +97,8 @@ func InfeasibilityCause(err error) string {
 		return "unbounded"
 	case errors.As(err, &pl):
 		return "pivot-limit"
+	case errors.As(err, &ce):
+		return "canceled"
 	}
 	return ""
 }

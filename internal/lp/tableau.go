@@ -1,0 +1,495 @@
+package lp
+
+import (
+	"context"
+)
+
+// tableau is the dense exact-rational simplex tableau shared by the cold
+// two-phase solve, the warm-start dual reoptimization, and the lexicographic
+// canonicalization pass. Entries are sc scalars (small-int fast path with
+// big.Rat fallback); the pivot kernel walks only the nonzero columns of the
+// pivot row, which is where the mostly-zero slack/artificial columns of the
+// generator's systems make the classic full-tableau update wasteful.
+type tableau struct {
+	m, n int    // constraint rows, columns (excluding the rhs column)
+	rows [][]sc // m rows, each of length n+1; index n is the rhs
+	obj  []sc   // active objective row, length n+1 (rhs = negated objective)
+	// lex holds earlier objective rows kept in sync through pivots during
+	// canonicalization: an entering column must price to zero in every one
+	// of them, which confines later stages to the optimal face of all
+	// earlier objectives.
+	lex       [][]sc
+	basis     []int  // basic variable per row
+	forbidden []bool // columns barred from entering (artificials in phase 2)
+
+	nzbuf []int // scratch: nonzero column indices of the pivot row
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, basis: make([]int, m), forbidden: make([]bool, n)}
+	t.rows = make([][]sc, m)
+	for i := range t.rows {
+		t.rows[i] = make([]sc, n+1)
+	}
+	t.obj = make([]sc, n+1)
+	return t
+}
+
+// addColumns appends k zero columns just before the rhs.
+func (t *tableau) addColumns(k int) {
+	shift := func(row []sc) []sc {
+		row = append(row, make([]sc, k)...)
+		row[t.n+k] = row[t.n]
+		for j := t.n; j < t.n+k; j++ {
+			row[j] = sc{}
+		}
+		return row
+	}
+	for i := range t.rows {
+		t.rows[i] = shift(t.rows[i])
+	}
+	t.obj = shift(t.obj)
+	for i := range t.lex {
+		t.lex[i] = shift(t.lex[i])
+	}
+	t.forbidden = append(t.forbidden, make([]bool, k)...)
+	t.n += k
+}
+
+// addRow appends a constraint row (length n+1, rhs at index n) whose basic
+// variable is basic.
+func (t *tableau) addRow(row []sc, basic int) {
+	t.rows = append(t.rows, row)
+	t.basis = append(t.basis, basic)
+	t.m++
+}
+
+// eliminateBasics subtracts multiples of the existing rows from row so that
+// every current basic variable prices to zero in it — the canonical-form
+// repair for a freshly appended row or objective.
+func (t *tableau) eliminateBasics(row []sc, skip int) {
+	var f sc
+	for i := 0; i < t.m; i++ {
+		if i == skip {
+			continue
+		}
+		b := t.basis[i]
+		if row[b].isZero() {
+			continue
+		}
+		f.set(&row[b])
+		src := t.rows[i]
+		for j := 0; j <= t.n; j++ {
+			if src[j].isZero() {
+				continue
+			}
+			row[j].subMul(&f, &src[j])
+		}
+	}
+}
+
+// pivot performs a tableau pivot on (r, c), updating every constraint row,
+// the active objective, and the lex stack. Only the nonzero columns of the
+// (scaled) pivot row are touched in the eliminations.
+func (t *tableau) pivot(r, c int) {
+	row := t.rows[r]
+	var p sc
+	p.set(&row[c])
+	nz := t.nzbuf[:0]
+	for j := 0; j <= t.n; j++ {
+		if row[j].isZero() {
+			continue
+		}
+		row[j].div(&p)
+		nz = append(nz, j)
+	}
+	t.nzbuf = nz
+
+	var f sc
+	update := func(dst []sc) {
+		if dst[c].isZero() {
+			return
+		}
+		f.set(&dst[c])
+		for _, j := range nz {
+			dst[j].subMul(&f, &row[j])
+		}
+		dst[c].setZero() // exact, but avoid representing -0-style residue
+	}
+	for i := 0; i < t.m; i++ {
+		if i != r {
+			update(t.rows[i])
+		}
+	}
+	update(t.obj)
+	for i := range t.lex {
+		update(t.lex[i])
+	}
+	t.basis[r] = c
+}
+
+// iterStatus is the outcome of a run of simplex iterations.
+type iterStatus int
+
+const (
+	iterOptimal iterStatus = iota
+	iterUnbounded
+	iterPivotLimit
+	iterInfeasible // dual simplex: a negative row with no entering column
+	iterCanceled
+)
+
+// iterLimits carries the shared pivot budget and cancellation context
+// through a run of iterations.
+type iterLimits struct {
+	pivots *int
+	limit  int
+	ctx    context.Context
+	err    error // ctx.Err() when a run stops with iterCanceled
+}
+
+// canceled polls the context (cheaply: every few pivots the caller already
+// pays a full tableau update, so a per-pivot check is noise).
+func (l *iterLimits) canceled() bool {
+	if l.ctx == nil {
+		return false
+	}
+	if err := l.ctx.Err(); err != nil {
+		l.err = err
+		return true
+	}
+	return false
+}
+
+// primal runs primal simplex iterations on the active objective until
+// optimality, unboundedness, cancellation, or the pivot budget runs out.
+// Pricing starts with Dantzig's rule and falls back to Bland's anti-cycling
+// rule after a long degenerate run, exactly as the pre-incremental solver
+// did — comparisons are exact, so the pivot sequence is deterministic.
+// When lexRestrict is set, only columns that price to zero in every lex-
+// stack row may enter (the canonicalization stages).
+func (t *tableau) primal(lim *iterLimits, lexRestrict bool) iterStatus {
+	degenerate := 0
+	for {
+		if lim.canceled() {
+			return iterCanceled
+		}
+		bland := degenerate > 2*(t.m+t.n)
+		col := -1
+		for j := 0; j < t.n; j++ {
+			if t.forbidden[j] || t.obj[j].sign() >= 0 {
+				continue
+			}
+			if lexRestrict && !t.lexZero(j) {
+				continue
+			}
+			if col < 0 {
+				col = j
+				if bland {
+					break
+				}
+				continue
+			}
+			if t.obj[j].cmp(&t.obj[col]) < 0 {
+				col = j
+			}
+		}
+		if col < 0 {
+			return iterOptimal
+		}
+		// Budget check after the optimality check: a budget of exactly the
+		// needed pivots succeeds instead of tripping at the boundary.
+		if *lim.pivots >= lim.limit {
+			return iterPivotLimit
+		}
+		// Ratio test: minimize rhs_i / a_ic over a_ic > 0, ties broken by
+		// the lowest basic variable index (Bland). The quotients are
+		// compared by cross-multiplication — no rationals materialized.
+		row := -1
+		for i := 0; i < t.m; i++ {
+			if t.rows[i][col].sign() <= 0 {
+				continue
+			}
+			if row < 0 {
+				row = i
+				continue
+			}
+			c := cmpProd(&t.rows[i][t.n], &t.rows[row][col], &t.rows[row][t.n], &t.rows[i][col])
+			if c < 0 || (c == 0 && t.basis[i] < t.basis[row]) {
+				row = i
+			}
+		}
+		if row < 0 {
+			return iterUnbounded
+		}
+		if t.rows[row][t.n].isZero() {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		t.pivot(row, col)
+		*lim.pivots++
+	}
+}
+
+// lexZero reports whether column j prices to zero in every lex-stack row.
+func (t *tableau) lexZero(j int) bool {
+	for i := range t.lex {
+		if !t.lex[i][j].isZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// dual runs dual-simplex iterations: starting from a dual-feasible basis
+// (all reduced costs >= 0) whose rhs may have gone negative — the state
+// after tightening bounds or appending rows to an optimal tableau — it
+// restores primal feasibility, at which point the basis is optimal again.
+// Returns iterInfeasible when a negative row admits no entering column:
+// that row certifies the whole system infeasible (exactly, like phase 1).
+func (t *tableau) dual(lim *iterLimits) iterStatus {
+	for {
+		if lim.canceled() {
+			return iterCanceled
+		}
+		// Leaving row: most negative rhs, ties by the lowest row index.
+		row := -1
+		for i := 0; i < t.m; i++ {
+			if t.rows[i][t.n].sign() >= 0 {
+				continue
+			}
+			if row < 0 || t.rows[i][t.n].cmp(&t.rows[row][t.n]) < 0 {
+				row = i
+			}
+		}
+		if row < 0 {
+			return iterOptimal
+		}
+		if *lim.pivots >= lim.limit {
+			return iterPivotLimit
+		}
+		// Entering column: among a_rj < 0, minimize obj_j / (-a_rj) (the
+		// dual ratio test keeps every reduced cost nonnegative); ties by
+		// the lowest column index.
+		col := -1
+		var na, naBest sc
+		for j := 0; j < t.n; j++ {
+			if t.forbidden[j] || t.rows[row][j].sign() >= 0 {
+				continue
+			}
+			if col < 0 {
+				col = j
+				naBest.set(&t.rows[row][j])
+				naBest.neg()
+				continue
+			}
+			na.set(&t.rows[row][j])
+			na.neg()
+			if cmpProd(&t.obj[j], &naBest, &t.obj[col], &na) < 0 {
+				col = j
+				naBest.set(&na)
+			}
+		}
+		if col < 0 {
+			return iterInfeasible
+		}
+		t.pivot(row, col)
+		*lim.pivots++
+	}
+}
+
+// solution returns the value of variable j at the current basis.
+func (t *tableau) solution(j int) sc {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] == j {
+			var v sc
+			v.set(&t.rows[i][t.n])
+			return v
+		}
+	}
+	return sc{}
+}
+
+// objectiveNonzero reports whether the active objective value is nonzero
+// (the tableau keeps its negation in the rhs of the objective row).
+func (t *tableau) objectiveNonzero() bool { return !t.obj[t.n].isZero() }
+
+// setObjective installs cost (length n, padded with zeros) as the active
+// objective and eliminates the basic variables so reduced costs are valid.
+func (t *tableau) setObjective(cost []sc) {
+	for j := 0; j <= t.n; j++ {
+		t.obj[j].setZero()
+	}
+	for j := 0; j < len(cost) && j < t.n; j++ {
+		t.obj[j].set(&cost[j])
+	}
+	t.eliminateObjective()
+}
+
+// eliminateObjective zeroes the basic variables' reduced costs in the
+// active objective row.
+func (t *tableau) eliminateObjective() {
+	var f sc
+	for i := 0; i < t.m; i++ {
+		b := t.basis[i]
+		if t.obj[b].isZero() {
+			continue
+		}
+		f.set(&t.obj[b])
+		src := t.rows[i]
+		for j := 0; j <= t.n; j++ {
+			if src[j].isZero() {
+				continue
+			}
+			t.obj[j].subMul(&f, &src[j])
+		}
+	}
+}
+
+// twoPhase runs the two-phase primal simplex on a tableau holding m
+// structural rows (rhs of any sign, basis unset): phase 1 appends one
+// artificial per row and minimizes their sum; on feasibility the basic
+// artificials are driven out (charged to phase 1, as before the redesign),
+// the artificial columns are forbidden, and phase 2 minimizes cost. On
+// success the caller typically compacts the artificial columns away with
+// compactArtificials. ctx may be nil.
+func (t *tableau) twoPhase(ctx context.Context, cost []sc, maxPivots int, st *Stats) error {
+	structN := t.n
+	m := t.m
+	for i := 0; i < m; i++ {
+		if t.rows[i][t.n].sign() < 0 {
+			for j := 0; j <= t.n; j++ {
+				t.rows[i][j].neg()
+			}
+		}
+	}
+	t.addColumns(m)
+	for i := 0; i < m; i++ {
+		t.rows[i][structN+i].setInt64(1)
+		t.basis[i] = structN + i
+	}
+	// Phase-1 objective: minimize the sum of artificials.
+	for j := 0; j <= t.n; j++ {
+		t.obj[j].setZero()
+	}
+	for i := 0; i < m; i++ {
+		t.obj[structN+i].setInt64(1)
+	}
+	t.eliminateObjective()
+	lim := iterLimits{pivots: &st.Phase1Pivots, limit: maxPivots, ctx: ctx}
+	switch t.primal(&lim, false) {
+	case iterPivotLimit:
+		return &PivotLimitError{Phase: 1, Limit: maxPivots}
+	case iterUnbounded:
+		return ErrUnbounded // cannot happen (phase 1 is bounded) but be safe
+	case iterCanceled:
+		return &CanceledError{Phase: "phase1", Err: lim.err}
+	}
+	if t.objectiveNonzero() {
+		return ErrInfeasible
+	}
+	// Drive basic artificials out where possible; leftover degenerate rows
+	// are harmless once artificial columns are forbidden. These pivots are
+	// bounded by m and charged to phase 1.
+	for i := 0; i < m; i++ {
+		if t.basis[i] < structN {
+			continue
+		}
+		for j := 0; j < structN; j++ {
+			if !t.rows[i][j].isZero() {
+				t.pivot(i, j)
+				st.Phase1Pivots++
+				break
+			}
+		}
+	}
+	// Phase 2: swap in the real objective and forbid artificials.
+	for j := structN; j < t.n; j++ {
+		t.forbidden[j] = true
+	}
+	t.setObjective(cost)
+	lim = iterLimits{pivots: &st.Phase2Pivots, limit: maxPivots - st.Phase1Pivots, ctx: ctx}
+	switch t.primal(&lim, false) {
+	case iterPivotLimit:
+		return &PivotLimitError{Phase: 2, Limit: maxPivots}
+	case iterUnbounded:
+		return ErrUnbounded
+	case iterCanceled:
+		return &CanceledError{Phase: "phase2", Err: lim.err}
+	}
+	return nil
+}
+
+// compactArtificials truncates the tableau back to its structN structural
+// columns after a successful two-phase solve, dropping redundant rows whose
+// basic variable is still an artificial (such rows are all-zero over the
+// structural columns with zero rhs — the drive-out loop could not find a
+// pivot). The result is a clean optimal tableau that warm restarts can
+// append to.
+func (t *tableau) compactArtificials(structN int) {
+	rows := t.rows[:0]
+	basis := t.basis[:0]
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= structN {
+			continue
+		}
+		row := t.rows[i]
+		row[structN].set(&row[t.n])
+		rows = append(rows, row[:structN+1])
+		basis = append(basis, t.basis[i])
+	}
+	t.rows = rows
+	t.basis = basis
+	t.m = len(rows)
+	t.obj[structN].set(&t.obj[t.n])
+	t.obj = t.obj[:structN+1]
+	t.forbidden = t.forbidden[:structN]
+	t.n = structN
+}
+
+// canonicalize pins the coefficient variables to the lexicographically
+// minimal point of the optimal face: holding every earlier objective at its
+// optimum (the lex stack), it minimizes c_j = z_{2j} - z_{2j+1} for
+// j = 0..nc-1 in order. Because each stage's optimum is a property of the
+// feasible set alone, the final coefficient values are independent of which
+// optimal basis the solve arrived at — this is what makes a warm-started
+// resolve bit-identical to a cold solve. The active objective must be
+// optimal on entry; on a complete pass the primary objective row is
+// restored as active. Returns the terminating status (iterOptimal when the
+// pass completed).
+func (t *tableau) canonicalize(nc int, lim *iterLimits) iterStatus {
+	// Push the primary objective: later stages must not leave its optimum.
+	primary := make([]sc, t.n+1)
+	for j := range primary {
+		primary[j].set(&t.obj[j])
+	}
+	t.lex = append(t.lex, primary)
+	status := iterOptimal
+	for j := 0; j < nc; j++ {
+		stage := make([]sc, 2)
+		stage[0].setInt64(1)
+		stage[1].setInt64(-1)
+		// Install minimize z_{2j} - z_{2j+1} as the active objective.
+		for k := 0; k <= t.n; k++ {
+			t.obj[k].setZero()
+		}
+		t.obj[2*j].set(&stage[0])
+		t.obj[2*j+1].set(&stage[1])
+		t.eliminateObjective()
+		status = t.primal(lim, true)
+		if status != iterOptimal {
+			break
+		}
+		done := make([]sc, t.n+1)
+		for k := range done {
+			done[k].set(&t.obj[k])
+		}
+		t.lex = append(t.lex, done)
+	}
+	// Restore the primary objective (kept exactly in sync through every
+	// stage pivot) and drop the stack.
+	copy(t.obj, t.lex[0])
+	t.lex = nil
+	return status
+}
