@@ -41,6 +41,7 @@ func main() {
 		maxWrong   = flag.Int("max-wrong", 0, "exit zero if at most this many wrong results are found (the shipped stride-trained polynomials have a documented ~3e-5 single-ulp residual at 32 bits; see DESIGN.md)")
 		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines sharding the sweep (the oracle dominates; the report is identical for every value)")
 		common     = obs.RegisterCommonFlags(flag.CommandLine)
+		cacheFlags = oracle.RegisterCacheFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -59,6 +60,22 @@ func main() {
 		fatal(err)
 	}
 	defer ro.Close()
+	store, err := cacheFlags.Open()
+	if err != nil {
+		fatal(err)
+	}
+	// The sweep asks for many (width, mode) roundings of each input; with a
+	// persistent cache a warm run answers them all from disk and never starts
+	// a Ziv loop.
+	var cache *oracle.Cache
+	if store != nil {
+		st := store.Stats()
+		ro.Log.Infof("oracle cache: %s (%d entries in %d segments, %d quarantined%s)",
+			st.Dir, st.LoadedEntries, st.Segments, st.Quarantined,
+			map[bool]string{true: ", readonly"}[st.ReadOnly])
+		cache = oracle.NewCache(0)
+		cache.AttachStore(store)
+	}
 	var report *core.RunReport
 	if common.ReportPath != "" {
 		report = core.NewRunReport("rlibm-check")
@@ -84,7 +101,7 @@ func main() {
 				impl = func(x float32, _ libm.Scheme) float64 { return gen(float64(x)) }
 			}
 			sp := ro.Tracer.StartSpan("check", obs.Attrs{"fn": f.Name, "scheme": s.String()})
-			checked, wrong, first := checkOne(ofn, impl, s, *stride, *random, widthList, *seed, *workers)
+			checked, wrong, first := checkOne(ofn, impl, s, *stride, *random, widthList, *seed, *workers, cache)
 			sp.End(obs.Attrs{"checked": checked, "wrong": wrong})
 			status := "OK"
 			if wrong > 0 {
@@ -98,6 +115,15 @@ func main() {
 				report.AddCheck(f.Name, s.String(), checked, wrong, first)
 			}
 			totalWrong += wrong
+		}
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			ro.Log.Infof("oracle cache flush failed: %v", err)
+		}
+		if report != nil {
+			hits, misses := cache.Stats()
+			report.AttachCache(store.Stats(), hits, misses)
 		}
 	}
 	if report != nil {
@@ -127,7 +153,7 @@ func fatal(err error) {
 // and taking the failure with the smallest global input index reports
 // exactly what a serial sweep would.
 func checkOne(fn oracle.Func, impl func(float32, libm.Scheme) float64, s libm.Scheme,
-	stride uint64, random int, widths []int, seed int64, workers int) (checked, wrong int, first string) {
+	stride uint64, random int, widths []int, seed int64, workers int, cache *oracle.Cache) (checked, wrong int, first string) {
 
 	rng := rand.New(rand.NewSource(seed))
 	randoms := make([]float32, random)
@@ -161,12 +187,30 @@ func checkOne(fn oracle.Func, impl func(float32, libm.Scheme) float64, s libm.Sc
 					return
 				}
 				d := impl(x, s)
-				val := oracle.Compute(fn, fx) // one oracle evaluation per input
+				// At most one oracle evaluation per input, shared by every
+				// (width, mode) pair — and none at all when the cache answers
+				// them all (a warm -cache-dir run).
+				var val *oracle.Value
+				wantFor := func(t fp.Format, m fp.Mode) float64 {
+					if cache != nil {
+						if y, ok := cache.Lookup(fn, fx, t, m); ok {
+							return y
+						}
+					}
+					if val == nil {
+						val = oracle.Compute(fn, fx)
+					}
+					y := val.Round(t, m)
+					if cache != nil {
+						cache.Insert(fn, fx, t, m, y)
+					}
+					return y
+				}
 				for _, wbits := range widths {
 					t := fp.Format{Bits: wbits, ExpBits: 8}
 					for _, m := range fp.StandardModes {
 						got := t.Round(d, m)
-						want := val.Round(t, m)
+						want := wantFor(t, m)
 						rep.checked++
 						if math.Float64bits(got) != math.Float64bits(want) {
 							rep.wrong++

@@ -51,6 +51,7 @@ func main() {
 		table1     = flag.Bool("table1", false, "print a Table-1-style summary")
 		timeout    = flag.Duration("timeout", 0, "abort generation after this long (0 = no limit); cancellation reaches down into the simplex pivot loop")
 		common     = obs.RegisterCommonFlags(flag.CommandLine)
+		cacheFlags = oracle.RegisterCacheFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -92,6 +93,17 @@ func main() {
 	}
 	defer ro.Close()
 
+	store, err := cacheFlags.Open()
+	if err != nil {
+		fatal(err)
+	}
+	if store != nil {
+		st := store.Stats()
+		ro.Log.Infof("oracle cache: %s (%d entries in %d segments, %d quarantined%s)",
+			st.Dir, st.LoadedEntries, st.Segments, st.Quarantined,
+			map[bool]string{true: ", readonly"}[st.ReadOnly])
+	}
+
 	reg := obs.NewRegistry()
 	var report *core.RunReport
 	if common.ReportPath != "" {
@@ -103,6 +115,7 @@ func main() {
 
 	failed := false
 	var results []*core.Result
+	var cacheHits, cacheMisses int64
 	for _, fn := range fns {
 		cfg := core.Config{
 			Fn:      fn,
@@ -112,6 +125,7 @@ func main() {
 			Degree:  *degree,
 			Pieces:  *pieces,
 			Workers: *workers,
+			Store:   store,
 			Logger:  ro.Log,
 			Metrics: reg,
 			Trace:   ro.Tracer,
@@ -121,10 +135,19 @@ func main() {
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				// The -timeout budget covers the whole run; once it fires,
-				// every remaining function would fail identically.
+				// every remaining function would fail identically. Seal the
+				// cache first: the oracle work done so far is reusable.
+				if store != nil {
+					if cerr := store.Close(); cerr != nil {
+						ro.Log.Infof("oracle cache flush failed: %v", cerr)
+					}
+				}
 				if report != nil {
 					for _, scheme := range schemes {
 						report.AddFailure(fn.String(), scheme.String(), err)
+					}
+					if store != nil {
+						report.AttachCache(store.Stats(), cacheHits, cacheMisses)
 					}
 					report.AttachMetrics(reg, obs.Default())
 					if werr := report.WriteFile(common.ReportPath); werr != nil {
@@ -147,6 +170,12 @@ func main() {
 			continue
 		}
 		ro.Log.Infof("%v: all schemes done in %v", fn, time.Since(start).Round(time.Millisecond))
+		if len(rs) > 0 {
+			// The per-run cache counters are cumulative and shared by every
+			// scheme of this function's run.
+			cacheHits += rs[0].Stats.OracleHits
+			cacheMisses += rs[0].Stats.OracleMisses
+		}
 		for _, res := range rs {
 			ro.Log.Infof("  generated %s (%d constraints, %d LP solves, %d pivots, %d iterations, collect %v, solve %v, oracle cache %d hits / %d misses)",
 				res.Describe(), res.Stats.Constraints, res.Stats.LPSolves, res.Stats.LPPivots, res.Stats.Iterations,
@@ -177,6 +206,16 @@ func main() {
 			fatal(err)
 		}
 		ro.Log.Infof("wrote %s", *emit)
+	}
+	if store != nil {
+		// Seal before reading Stats so AppendedEntries reflects what actually
+		// reached disk; a flush failure loses the warm start, not the results.
+		if err := store.Close(); err != nil {
+			ro.Log.Infof("oracle cache flush failed: %v", err)
+		}
+		if report != nil {
+			report.AttachCache(store.Stats(), cacheHits, cacheMisses)
+		}
 	}
 	if report != nil {
 		report.AttachMetrics(reg, obs.Default())

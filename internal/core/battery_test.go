@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+// TestSmallWidthBattery is the exhaustive small-format battery: for every
+// input width from 10 to 14 bits, generate all four paper schemes in one
+// GenerateAll (sharing the collection pass, as rlibm-gen does) and verify
+// EVERY input of the format, at every output width from 10 up to the input
+// width, under all five IEEE rounding modes plus round-to-odd.
+//
+// Round-to-odd at narrow widths is a legitimate expectation, not just a
+// convenience: the implementation's double lies inside the round-to-odd
+// interval of the (Bits+2)-bit target, and that interval contains no w-bit
+// grid point for w <= Bits, so every double in it rounds to the same w-bit
+// value under RTO too.
+//
+// With -short the battery keeps one exponential and one logarithm at the
+// cheapest and costliest widths; the full run covers the whole ladder.
+func TestSmallWidthBattery(t *testing.T) {
+	widths := []int{10, 11, 12, 13, 14}
+	if testing.Short() {
+		widths = []int{10, 14}
+	}
+	for _, fn := range []oracle.Func{oracle.Exp2, oracle.Log2} {
+		for _, bits := range widths {
+			t.Run(fmt.Sprintf("%v/%d", fn, bits), func(t *testing.T) {
+				in := fp.Format{Bits: bits, ExpBits: 8}
+				rs, err := GenerateAll(context.Background(),
+					Config{Fn: fn, Input: in, Seed: 1}, poly.PaperSchemes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var outWidths []int
+				for w := 10; w <= bits; w++ {
+					outWidths = append(outWidths, w)
+				}
+				for _, res := range rs {
+					rep := res.Verify(in, 1, outWidths, fp.AllModes)
+					if rep.Checked == 0 {
+						t.Fatalf("%v: verified nothing", res.Scheme)
+					}
+					if rep.Wrong != 0 {
+						t.Errorf("%v: %d/%d wrong: %s",
+							res.Scheme, rep.Wrong, rep.Checked, rep.FirstWrong)
+					}
+				}
+			})
+		}
+	}
+}

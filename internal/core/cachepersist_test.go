@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+// sameCoeffs fails the test unless the two results carry bit-identical
+// coefficients, piece by piece.
+func sameCoeffs(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Pieces) != len(b.Pieces) {
+		t.Fatalf("%s: piece count differs: %d vs %d", label, len(a.Pieces), len(b.Pieces))
+	}
+	for i := range a.Pieces {
+		ac, bc := a.Pieces[i].Coeffs, b.Pieces[i].Coeffs
+		if len(ac) != len(bc) {
+			t.Fatalf("%s: piece %d coefficient count differs: %d vs %d", label, i, len(ac), len(bc))
+		}
+		for j := range ac {
+			if math.Float64bits(ac[j]) != math.Float64bits(bc[j]) {
+				t.Errorf("%s: piece %d coeff %d differs: %v (%#x) vs %v (%#x)",
+					label, i, j, ac[j], math.Float64bits(ac[j]), bc[j], math.Float64bits(bc[j]))
+			}
+		}
+	}
+}
+
+// TestGenerateCachePersistIdentical: the persistent-cache determinism
+// contract, extending the warm/cold LP contract of warmcold_test.go to the
+// disk layer. The same generation run with no cache, with a cold cache
+// directory, with that directory warm, and with it warm but read-only must
+// produce bit-identical coefficients AND take the identical LP trajectory
+// (same pivot count) — the store replays oracle values, it never steers the
+// solve.
+func TestGenerateCachePersistIdentical(t *testing.T) {
+	dir := t.TempDir()
+	gen := func(cacheDir string, readonly bool) *Result {
+		cfg := Config{
+			Fn: oracle.Exp2, Input: fp.Bfloat16, Seed: 3,
+			CacheDir: cacheDir, CacheReadonly: readonly,
+		}
+		rs, err := GenerateAll(context.Background(), cfg, []poly.Scheme{poly.Horner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs[0]
+	}
+
+	nocache := gen("", false)
+	cold := gen(dir, false)
+	warm := gen(dir, false)
+	rdonly := gen(dir, true)
+
+	sameCoeffs(t, "cold vs no-cache", cold, nocache)
+	sameCoeffs(t, "warm vs no-cache", warm, nocache)
+	sameCoeffs(t, "readonly vs no-cache", rdonly, nocache)
+
+	for _, tc := range []struct {
+		name string
+		res  *Result
+	}{{"cold", cold}, {"warm", warm}, {"readonly", rdonly}} {
+		if tc.res.Stats.LPPivots != nocache.Stats.LPPivots {
+			t.Errorf("%s: %d LP pivots, no-cache run took %d", tc.name, tc.res.Stats.LPPivots, nocache.Stats.LPPivots)
+		}
+		if tc.res.Stats.Iterations != nocache.Stats.Iterations {
+			t.Errorf("%s: %d iterations, no-cache run took %d", tc.name, tc.res.Stats.Iterations, nocache.Stats.Iterations)
+		}
+	}
+
+	if cold.Stats.OracleHits != nocache.Stats.OracleHits {
+		t.Errorf("cold run hit pattern differs from no-cache: %d vs %d", cold.Stats.OracleHits, nocache.Stats.OracleHits)
+	}
+	// The warm runs answer every oracle query from the preloaded store.
+	if warm.Stats.OracleMisses != 0 {
+		t.Errorf("warm run missed the cache %d times, want 0", warm.Stats.OracleMisses)
+	}
+	if rdonly.Stats.OracleMisses != 0 {
+		t.Errorf("readonly run missed the cache %d times, want 0", rdonly.Stats.OracleMisses)
+	}
+
+	// The read-only run must not have grown the directory: reopening finds
+	// exactly what the cold run persisted.
+	st, err := oracle.OpenStore(dir, oracle.StoreOptions{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	if got, want := int64(stats.LoadedEntries), nocache.Stats.OracleMisses; got != want {
+		t.Errorf("directory holds %d entries, cold run computed %d", got, want)
+	}
+}
+
+// TestGenerateCacheCorruptionRecovery: flipping a byte inside a sealed
+// segment must not poison generation — the store quarantines the segment at
+// open, the pipeline recomputes what was lost, and the coefficients come out
+// identical to the pristine warm run's.
+func TestGenerateCacheCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	gen := func() *Result {
+		cfg := Config{Fn: oracle.Exp2, Input: fp.Bfloat16, Seed: 3, CacheDir: dir}
+		rs, err := GenerateAll(context.Background(), cfg, []poly.Scheme{poly.Horner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs[0]
+	}
+	pristine := gen()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments persisted (err=%v)", err)
+	}
+	// Flip a value byte in the middle of the first segment: the CRC catches
+	// it even though the record framing stays intact.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := gen()
+	sameCoeffs(t, "recovered vs pristine", recovered, pristine)
+	if recovered.Stats.OracleMisses == 0 {
+		t.Error("recovered run reports zero oracle misses; the corrupt segment was served")
+	}
+
+	q, err := filepath.Glob(filepath.Join(dir, "*.quarantined*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) == 0 {
+		t.Error("corrupt segment was not quarantined")
+	}
+	for _, f := range q {
+		if filepath.Base(f) == filepath.Base(segs[0]) {
+			t.Errorf("quarantined file kept the segment name %s", f)
+		}
+	}
+
+	// The recovery run resealed what it recomputed: a third run is warm again.
+	third := gen()
+	sameCoeffs(t, "third vs pristine", third, pristine)
+	if third.Stats.OracleMisses != 0 {
+		t.Errorf("post-recovery run missed the cache %d times, want 0", third.Stats.OracleMisses)
+	}
+}

@@ -107,6 +107,22 @@ func GenerateAll(ctx context.Context, cfg Config, schemes []poly.Scheme) ([]*Res
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if cfg.Store == nil && cfg.CacheDir != "" {
+		st, err := oracle.OpenStore(cfg.CacheDir, oracle.StoreOptions{ReadOnly: cfg.CacheReadonly})
+		if err != nil {
+			return nil, fmt.Errorf("%v: oracle cache: %w", cfg.Fn, err)
+		}
+		cfg.Store = st
+		// Seal this run's fresh oracle results into a segment when the run
+		// ends, success or failure — a failed solve's collect work is still
+		// worth persisting. A flush failure loses cache warmth, never
+		// correctness, so it is logged rather than failing the run.
+		defer func() {
+			if err := st.Close(); err != nil {
+				cfg.Logger.Infof("%v: oracle cache flush failed: %v", cfg.Fn, err)
+			}
+		}()
+	}
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -294,6 +310,10 @@ func collect(cfg *Config, red rangered.Reduction, dom Domain, specials map[uint6
 		for i := w; i < len(extras); i += workers {
 			classify(cfg, red, dom, extras[i], sh)
 		}
+		// Sort inside the worker: the streaming merge below consumes the
+		// shards as sorted runs, so the O(n log n) comparison work happens
+		// in parallel and the barrier only pays the O(n) merge.
+		sort.Slice(sh.cands, func(i, j int) bool { return candLess(&sh.cands[i], &sh.cands[j]) })
 	}
 	if workers == 1 {
 		runShard(0)
@@ -322,64 +342,115 @@ func collect(cfg *Config, red rangered.Reduction, dom Domain, specials map[uint6
 		"fn": cfg.Fn.String(), "workers": workers, "candidates": shardCounts,
 	})
 
-	// Deterministic reduction at the barrier: concatenate, sort by (reduced
-	// input, source input), then merge each reduced-input group in sorted
-	// source order. Duplicate enumerations of one input (aligned pass,
-	// domain-cut neighbourhoods overlapping the stride sweep) collapse here.
-	total := 0
+	// Streaming deterministic reduction at the barrier: the shards are
+	// already sorted by (reduced input, source input), so a k-way merge
+	// visits every candidate in exactly the order the old concatenate-and-
+	// sort pass produced — but one candidate at a time, folded straight into
+	// the constraint accumulator for its reduced input, without ever
+	// materializing the concatenated candidate slice. Duplicate enumerations
+	// of one input (aligned pass, domain-cut neighbourhoods overlapping the
+	// stride sweep) collapse here, and the merged work list feeds the
+	// per-piece splitting unchanged, so the reduction stays bit-identical
+	// for any worker count.
 	for i := range shards {
-		total += len(shards[i].cands)
 		for b, y := range shards[i].specials {
 			specials[b] = y
 		}
 	}
-	all := make([]candidate, 0, total)
-	for i := range shards {
-		all = append(all, shards[i].cands...)
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].r != all[j].r {
-			return all[i].r < all[j].r
-		}
-		if all[i].rb != all[j].rb {
-			return all[i].rb < all[j].rb // +0 before -0: ordered, deterministically
-		}
-		return all[i].xb < all[j].xb
-	})
-
 	var work []*workItem
-	for i := 0; i < len(all); {
-		j := i + 1
-		for j < len(all) && all[j].rb == all[i].rb {
-			j++
+	var item *workItem       // accumulator for the current reduced input
+	var curRB, prevXB uint64 // current group key; previous source seen in it
+	merge := newShardMerge(shards)
+	for {
+		c := merge.next()
+		if c == nil {
+			break
 		}
-		item := &workItem{R: all[i].r, Iv: all[i].iv, Sources: []uint64{all[i].xb}}
-		stats.Inputs++
-		for k := i + 1; k < j; k++ {
-			c := all[k]
-			if c.xb == all[k-1].xb {
-				continue // duplicate enumeration of the same input
-			}
+		if item == nil || c.rb != curRB {
+			work = append(work, &workItem{R: c.r, Iv: c.iv, Sources: []uint64{c.xb}})
+			item = work[len(work)-1]
+			curRB, prevXB = c.rb, c.xb
 			stats.Inputs++
-			// Intersect with the existing constraint.
-			lo := math.Max(item.Iv.Lo, c.iv.Lo)
-			hi := math.Min(item.Iv.Hi, c.iv.Hi)
-			if lo > hi {
-				// Irreconcilable at this reduced input: the newcomer becomes
-				// a special case (the paper's CombineRedIntervals would fail
-				// the whole run; demoting the conflicting input preserves
-				// progress).
-				specials[c.xb] = c.y
-				continue
-			}
-			item.Iv = interval.Interval{Lo: lo, Hi: hi}
-			item.Sources = append(item.Sources, c.xb)
+			continue
 		}
-		work = append(work, item)
-		i = j
+		if c.xb == prevXB {
+			continue // duplicate enumeration of the same input
+		}
+		prevXB = c.xb
+		stats.Inputs++
+		// Intersect with the existing constraint.
+		lo := math.Max(item.Iv.Lo, c.iv.Lo)
+		hi := math.Min(item.Iv.Hi, c.iv.Hi)
+		if lo > hi {
+			// Irreconcilable at this reduced input: the newcomer becomes
+			// a special case (the paper's CombineRedIntervals would fail
+			// the whole run; demoting the conflicting input preserves
+			// progress).
+			specials[c.xb] = c.y
+			continue
+		}
+		item.Iv = interval.Interval{Lo: lo, Hi: hi}
+		item.Sources = append(item.Sources, c.xb)
 	}
 	stats.Constraints = len(work)
 	return work, stats, nil
+}
+
+// candLess is the canonical candidate order: by reduced input value, then
+// its bit pattern (+0 before -0: ordered, deterministically), then source
+// input. Shards sort by it and the merge preserves it globally.
+func candLess(a, b *candidate) bool {
+	if a.r != b.r {
+		return a.r < b.r
+	}
+	if a.rb != b.rb {
+		return a.rb < b.rb
+	}
+	return a.xb < b.xb
+}
+
+// shardMerge streams the union of the sorted per-worker candidate runs in
+// canonical order. Worker counts are small (tens), so a linear scan over
+// the run heads beats a heap: no allocations, trivially deterministic
+// tie-breaking (lowest shard index wins between equal candidates, which
+// cannot reorder equal keys because candLess is a total order on them).
+type shardMerge struct {
+	shards []collectShard
+	heads  []int
+}
+
+func newShardMerge(shards []collectShard) *shardMerge {
+	return &shardMerge{shards: shards, heads: make([]int, len(shards))}
+}
+
+// next returns the smallest unconsumed candidate, or nil when every run is
+// exhausted. The pointer aliases the shard's backing array and is only
+// valid until the shard is released.
+func (m *shardMerge) next() *candidate {
+	best := -1
+	var bc *candidate
+	for i := range m.shards {
+		h := m.heads[i]
+		if h >= len(m.shards[i].cands) {
+			continue
+		}
+		c := &m.shards[i].cands[h]
+		if best < 0 || candLess(c, bc) {
+			best, bc = i, c
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	m.heads[best]++
+	if m.heads[best] == len(m.shards[best].cands) {
+		// Run exhausted: release the shard's candidate memory early — with
+		// many workers the streamed reduction never holds more than the
+		// still-unconsumed runs plus the accumulator.
+		m.shards[best].cands = nil
+		m.heads[best] = 0
+	}
+	return bc
 }
 
 // classify computes one enumerated input's contribution — a special-case

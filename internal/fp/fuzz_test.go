@@ -1,0 +1,48 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundOddAgreement fuzzes the round-to-odd theorem (Section 2 of the
+// paper) over exact doubles: rounding x to a (w+2)-bit format under
+// round-to-odd and then to the w-bit format under any standard mode must
+// agree with rounding x to w bits directly — that is the property that lets
+// one 34-bit oracle result serve every narrower format. The fuzzer also
+// cross-checks the fast float64 rounding path against the exact rational
+// reference on every probe, for both the final and the intermediate format.
+func FuzzRoundOddAgreement(f *testing.F) {
+	f.Add(math.Float64bits(1.0), uint8(0), uint8(0))
+	f.Add(math.Float64bits(1.5), uint8(6), uint8(1))
+	f.Add(math.Float64bits(0x1.ffffffp+127), uint8(22), uint8(3)) // MaxFinite of binary32
+	f.Add(math.Float64bits(0x1p-149), uint8(22), uint8(4))        // binary32 MinSubnormal
+	f.Add(math.Float64bits(-0x1.000002p-126), uint8(14), uint8(2))
+	f.Add(math.Float64bits(0x1.0000010000001p+0), uint8(12), uint8(0)) // just above a binade tie
+	f.Fuzz(func(t *testing.T, xbits uint64, wSel, mSel uint8) {
+		x := math.Float64frombits(xbits)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		w := 10 + int(wSel)%23 // final widths 10..32, the RLibm-ALL range
+		narrow := Format{Bits: w, ExpBits: 8}
+		wide := Format{Bits: w + 2, ExpBits: 8}
+		m := StandardModes[int(mSel)%len(StandardModes)]
+
+		ro := wide.Round(x, RTO)
+		direct := narrow.Round(x, m)
+		double := narrow.Round(ro, m)
+		if !sameFloat(direct, double) {
+			t.Fatalf("theorem violated: x=%g (%#x) w=%d mode=%v: direct %g, through RO(%d) %g",
+				x, xbits, w, m, direct, w+2, double)
+		}
+
+		r := ratFromFloat(x)
+		if want := narrow.RoundRat(r, m); !sameFloat(direct, want) {
+			t.Fatalf("%v.Round(%g, %v) = %g, rational reference %g", narrow, x, m, direct, want)
+		}
+		if want := wide.RoundRat(r, RTO); !sameFloat(ro, want) {
+			t.Fatalf("%v.Round(%g, rto) = %g, rational reference %g", wide, x, ro, want)
+		}
+	})
+}

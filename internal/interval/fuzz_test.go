@@ -1,0 +1,72 @@
+package interval
+
+import (
+	"math"
+	"testing"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+)
+
+// FuzzIntervalContains fuzzes the pipeline's load-bearing interval property
+// (Figure 2): for a real oracle result, the RO34 rounding interval contains
+// the round-to-odd value itself, every double inside it rounds back to that
+// value, and the doubles just outside do not. A violation here would mean
+// the LP is fed constraints that admit wrongly rounded implementations.
+func FuzzIntervalContains(f *testing.F) {
+	f.Add(math.Float64bits(1.5), uint8(0))
+	f.Add(math.Float64bits(0.125), uint8(3))
+	f.Add(math.Float64bits(-17.25), uint8(1))
+	f.Add(math.Float64bits(88.5), uint8(2))
+	f.Add(math.Float64bits(0x1p-40), uint8(4))
+	f.Add(math.Float64bits(3.0), uint8(5))
+	f.Fuzz(func(t *testing.T, xbits uint64, fnSel uint8) {
+		x := math.Float64frombits(xbits)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			t.Skip()
+		}
+		// The exponential family overflows FP34 around |x| ~ 128 and the
+		// cost of a Ziv escalation grows with the exponent; the pipeline's
+		// own domain cuts keep it in this range too.
+		if math.Abs(x) > 100 || math.Abs(x) < 0x1p-200 {
+			t.Skip()
+		}
+		fn := oracle.Funcs[int(fnSel)%len(oracle.Funcs)]
+		if fn.IsLog() && x <= 0 {
+			t.Skip()
+		}
+		y := oracle.Correct(fn, x, fp.FP34, fp.RTO)
+		iv, err := RoundingRO34(y)
+		if err != nil {
+			// Zero, infinite and NaN results are special-cased by the
+			// pipeline, never turned into intervals.
+			t.Skip()
+		}
+
+		if iv.Empty() {
+			t.Fatalf("%v(%g): empty interval %v for y=%g", fn, x, iv, y)
+		}
+		if !iv.Contains(y) {
+			t.Fatalf("%v(%g): interval %v does not contain its own result %g", fn, x, iv, y)
+		}
+		// Every double in [Lo, Hi] rounds back to y; probe the endpoints and
+		// the midpoint.
+		for _, v := range []float64{iv.Lo, iv.Hi, iv.Lo + (iv.Hi-iv.Lo)/2} {
+			if got := fp.FP34.Round(v, fp.RTO); math.Float64bits(got) != math.Float64bits(y) {
+				t.Fatalf("%v(%g): %g inside %v rounds to %g, want %g", fn, x, v, iv, got, y)
+			}
+		}
+		// The neighbours just outside round elsewhere — the interval is
+		// tight, not merely sound. Saturated endpoints have no outside.
+		if lo := math.Nextafter(iv.Lo, math.Inf(-1)); !math.IsInf(lo, -1) && lo != -math.MaxFloat64 {
+			if got := fp.FP34.Round(lo, fp.RTO); math.Float64bits(got) == math.Float64bits(y) {
+				t.Fatalf("%v(%g): %g below %v still rounds to %g", fn, x, lo, iv, y)
+			}
+		}
+		if hi := math.Nextafter(iv.Hi, math.Inf(1)); !math.IsInf(hi, 1) && iv.Hi != math.MaxFloat64 {
+			if got := fp.FP34.Round(hi, fp.RTO); math.Float64bits(got) == math.Float64bits(y) {
+				t.Fatalf("%v(%g): %g above %v still rounds to %g", fn, x, hi, iv, y)
+			}
+		}
+	})
+}

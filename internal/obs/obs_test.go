@@ -98,6 +98,31 @@ func TestSnapshotMerge(t *testing.T) {
 	}
 }
 
+func TestSnapshotAccessors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oracle/cache/hits").Add(7)
+	r.Gauge("oracle/store/segments").Set(2)
+	s := r.Snapshot()
+	if got := s.Counter("oracle/cache/hits"); got != 7 {
+		t.Errorf("Counter(hits) = %d, want 7", got)
+	}
+	if got := s.Counter("no/such/counter"); got != 0 {
+		t.Errorf("Counter(missing) = %d, want 0", got)
+	}
+	if got := s.Gauge("oracle/store/segments"); got != 2 {
+		t.Errorf("Gauge(segments) = %d, want 2", got)
+	}
+	// Accessors work on zero-value snapshots (e.g. a report parsed from a
+	// run that recorded nothing).
+	var empty Snapshot
+	if got := empty.Counter("x"); got != 0 {
+		t.Errorf("zero-value Counter = %d, want 0", got)
+	}
+	if got := empty.Gauge("x"); got != 0 {
+		t.Errorf("zero-value Gauge = %d, want 0", got)
+	}
+}
+
 func TestTracerJSONL(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTracer(&buf)

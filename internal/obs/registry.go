@@ -243,6 +243,18 @@ func (s *Snapshot) Merge(other Snapshot) {
 	}
 }
 
+// Counter returns the named counter's value, or 0 when the snapshot does
+// not carry it — report consumers (CI scripts, tests) read cache hit/miss
+// style counters without caring whether the producing run instrumented them.
+func (s Snapshot) Counter(name string) int64 {
+	return s.Counters[name]
+}
+
+// Gauge is Counter's analogue for gauges.
+func (s Snapshot) Gauge(name string) int64 {
+	return s.Gauges[name]
+}
+
 // Names returns the sorted instrument names of the snapshot (all kinds),
 // mainly for tests and debugging.
 func (s Snapshot) Names() []string {

@@ -24,6 +24,11 @@ type Cache struct {
 	mask   uint64
 	hits   atomic.Int64
 	misses atomic.Int64
+	// store, when non-nil, is the persistent layer: entries it loaded from
+	// disk were preloaded into the stripes by AttachStore, and every fresh
+	// computation is appended back (the store ignores appends in read-only
+	// mode).
+	store *Store
 }
 
 type cacheShard struct {
@@ -61,30 +66,71 @@ func NewCache(shards int) *Cache {
 	return c
 }
 
+// AttachStore preloads every entry the store read from disk into the
+// in-memory stripes and routes future misses back to it, making the store
+// the persistent layer under this cache. Call before handing the cache to
+// concurrent workers.
+func (c *Cache) AttachStore(s *Store) {
+	if s == nil {
+		return
+	}
+	c.store = s
+	s.mu.Lock()
+	entries := s.entries
+	s.mu.Unlock()
+	for k, y := range entries {
+		sh := &c.shards[c.stripe(k)]
+		sh.mu.Lock()
+		sh.m[k] = y
+		sh.mu.Unlock()
+	}
+}
+
 // Correct is the memoized equivalent of the package-level Correct: the
 // correctly rounded value of f(x) in format t under mode m.
 func (c *Cache) Correct(f Func, x float64, t fp.Format, m fp.Mode) float64 {
-	k := cacheKey{fn: f, bits: math.Float64bits(x), t: t, mode: m}
-	sh := &c.shards[c.stripe(k)]
-	sh.mu.Lock()
-	if y, ok := sh.m[k]; ok {
-		sh.mu.Unlock()
-		c.hits.Add(1)
-		metricsFor(f).observeCache(true)
+	if y, ok := c.Lookup(f, x, t, m); ok {
 		return y
 	}
-	sh.mu.Unlock()
 	// Compute outside the stripe lock: a Ziv escalation can take microseconds
 	// and would serialize every other key on the stripe. Duplicated work on a
 	// racing first query is deterministic (both goroutines compute the same
 	// value), so last-write-wins is safe.
 	y := Correct(f, x, t, m)
+	c.Insert(f, x, t, m, y)
+	return y
+}
+
+// Lookup consults the cache without computing on a miss.
+func (c *Cache) Lookup(f Func, x float64, t fp.Format, m fp.Mode) (float64, bool) {
+	k := cacheKey{fn: f, bits: math.Float64bits(x), t: t, mode: m}
+	sh := &c.shards[c.stripe(k)]
+	sh.mu.Lock()
+	y, ok := sh.m[k]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		metricsFor(f).observeCache(true)
+		return y, true
+	}
+	return 0, false
+}
+
+// Insert memoizes an already computed oracle result, persisting it when a
+// store is attached. The caller vouches that y is the correctly rounded
+// value (Lookup/Insert exist so callers that batch many (format, mode)
+// queries against one Value can still populate the cache).
+func (c *Cache) Insert(f Func, x float64, t fp.Format, m fp.Mode, y float64) {
+	k := cacheKey{fn: f, bits: math.Float64bits(x), t: t, mode: m}
+	sh := &c.shards[c.stripe(k)]
 	sh.mu.Lock()
 	sh.m[k] = y
 	sh.mu.Unlock()
+	if c.store != nil {
+		c.store.Append(k, y)
+	}
 	c.misses.Add(1)
 	metricsFor(f).observeCache(false)
-	return y
 }
 
 func (c *Cache) stripe(k cacheKey) uint64 {

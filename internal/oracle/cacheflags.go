@@ -1,0 +1,43 @@
+package oracle
+
+import (
+	"flag"
+	"fmt"
+)
+
+// CacheFlags bundles the persistent-cache flags shared by every rlibm CLI:
+// where the cache lives (-cache-dir), whether this run may grow it
+// (-cache-readonly), and whether to wipe it first (-cache-clear).
+type CacheFlags struct {
+	Dir      string
+	ReadOnly bool
+	Clear    bool
+}
+
+// RegisterCacheFlags installs the shared cache flags on fs.
+func RegisterCacheFlags(fs *flag.FlagSet) *CacheFlags {
+	c := &CacheFlags{}
+	fs.StringVar(&c.Dir, "cache-dir", "", "persist oracle results in this directory across runs (empty = no persistent cache)")
+	fs.BoolVar(&c.ReadOnly, "cache-readonly", false, "serve the persistent cache without writing this run's results back")
+	fs.BoolVar(&c.Clear, "cache-clear", false, "delete the persistent cache's segments before the run")
+	return c
+}
+
+// Open resolves the flags into a store: nil (no persistent cache) when no
+// directory was given, after clearing it when -cache-clear asked for that.
+// The caller owns the returned store and must Close it to seal this run's
+// segment.
+func (c *CacheFlags) Open() (*Store, error) {
+	if c.Dir == "" {
+		if c.Clear || c.ReadOnly {
+			return nil, fmt.Errorf("oracle: -cache-clear/-cache-readonly need -cache-dir")
+		}
+		return nil, nil
+	}
+	if c.Clear {
+		if err := ClearCacheDir(c.Dir); err != nil {
+			return nil, fmt.Errorf("oracle: -cache-clear: %w", err)
+		}
+	}
+	return OpenStore(c.Dir, StoreOptions{ReadOnly: c.ReadOnly})
+}

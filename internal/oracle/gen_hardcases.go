@@ -1,0 +1,117 @@
+//go:build ignore
+
+// gen_hardcases scans binary32 inputs for the hardest-to-round cases — the
+// inputs whose Ziv loop needs the most precision before the round-to-odd
+// result becomes unambiguous — and writes the worst of them as golden
+// vectors to internal/oracle/testdata/hardcases_<fn>.json. hardcases_test.go
+// replays those vectors, pinning both the 34-bit round-to-odd result bits
+// and the terminal precision, so any change to the Ziv loop, the precision
+// ladder or the big.Float evaluation that shifts either is caught at once.
+//
+// Regenerate with:
+//
+//	go run ./internal/oracle/gen_hardcases.go [-stride 4093] [-top 12]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+)
+
+type hardCase struct {
+	// XBits/YBits are %#x-formatted float64 bit patterns: the input and its
+	// 34-bit round-to-odd oracle result. Hex strings survive JSON's float64
+	// number range, which raw uint64 values would not.
+	XBits string `json:"x_bits"`
+	YBits string `json:"y_bits"`
+	// TerminalPrec is the Ziv precision that settled the result, starting
+	// from the base precision with a fresh ladder.
+	TerminalPrec uint `json:"terminal_prec"`
+}
+
+type hardCaseFile struct {
+	Fn     string     `json:"fn"`
+	Stride uint64     `json:"stride"`
+	Cases  []hardCase `json:"cases"`
+}
+
+func main() {
+	stride := flag.Uint64("stride", 4093, "scan every stride-th binary32 bit pattern")
+	top := flag.Int("top", 12, "golden vectors to keep per function")
+	outDir := flag.String("out", "internal/oracle/testdata", "output directory")
+	flag.Parse()
+
+	for _, fn := range []oracle.Func{oracle.Exp, oracle.Log, oracle.Exp2, oracle.Log2} {
+		type scored struct {
+			xbits uint64
+			prec  uint
+		}
+		var worst []scored
+		for b := uint64(0); b < 1<<32; b += *stride {
+			x := float64(math.Float32frombits(uint32(b)))
+			if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+				continue
+			}
+			if fn.IsLog() && x <= 0 {
+				continue
+			}
+			v := oracle.Compute(fn, x)
+			worst = append(worst, scored{math.Float64bits(x), v.TerminalPrec()})
+		}
+		// Hardest first; ties broken by input bits for a stable file.
+		sort.Slice(worst, func(i, j int) bool {
+			if worst[i].prec != worst[j].prec {
+				return worst[i].prec > worst[j].prec
+			}
+			return worst[i].xbits < worst[j].xbits
+		})
+		if len(worst) > *top {
+			worst = worst[:*top]
+		}
+
+		out := hardCaseFile{Fn: fn.String(), Stride: *stride}
+		for _, s := range worst {
+			// Re-run from a fresh ladder: the recorded terminal precision
+			// must be the canonical base-precision-start one, not whatever
+			// the scan's warmed ladder happened to start from.
+			oracle.ResetLadders()
+			x := math.Float64frombits(s.xbits)
+			v := oracle.Compute(fn, x)
+			out.Cases = append(out.Cases, hardCase{
+				XBits:        fmt.Sprintf("%#016x", s.xbits),
+				YBits:        fmt.Sprintf("%#016x", math.Float64bits(v.Round(fp.FP34, fp.RTO))),
+				TerminalPrec: v.TerminalPrec(),
+			})
+		}
+		oracle.ResetLadders()
+
+		path := filepath.Join(*outDir, "hardcases_"+fn.String()+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d cases, hardest terminal precision %d\n",
+			path, len(out.Cases), out.Cases[0].TerminalPrec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen_hardcases:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"rlibm/internal/fp"
 )
@@ -36,6 +38,9 @@ const (
 	Sinpi
 	Cospi
 )
+
+// numFuncs bounds the Func enumeration (array-table sizing).
+const numFuncs = int(Cospi) + 1
 
 // Funcs lists the six functions of the paper's evaluation, in its order.
 var Funcs = []Func{Exp, Exp2, Exp10, Log, Log2, Log10}
@@ -223,6 +228,56 @@ type Value struct {
 	y        *big.Float
 }
 
+// basePrec is the Ziv loop's base working precision: enough for all but the
+// near-halfway cases, cheap enough to be the default starting rung.
+const basePrec = 80
+
+// ladderMaxStart caps how high the precision ladder may start a fresh
+// evaluation: beyond it, overshooting an easy input costs more than the
+// retries it saves on a hard one.
+const ladderMaxStart = 2048
+
+// ladders holds, per function, the terminal precision of the most recent
+// Ziv-path Round — the precision-ladder fast path. Worst-case inputs
+// cluster (near-halfway results live in narrow input neighbourhoods, and
+// enumeration visits neighbours consecutively), so starting the next input
+// at the precision that just succeeded skips the doubling retries — and the
+// full re-evaluations they imply — for the whole neighbourhood. Easy inputs
+// walk the ladder back down one rung per call. The rounded result is
+// identical for every starting precision (roundUnambiguous only accepts an
+// unambiguous interval), so the ladder is a pure speed knob; the atomic is
+// shared by concurrent workers as an advisory hint.
+var ladders [numFuncs]atomic.Uint64
+
+// ladderStart returns the starting precision for a fresh evaluation of f.
+func ladderStart(f Func) uint {
+	p := uint(ladders[f].Load())
+	if p < basePrec {
+		return basePrec
+	}
+	if p > ladderMaxStart {
+		return ladderMaxStart
+	}
+	return p
+}
+
+// ladderRecord folds one Ziv-path outcome back into the ladder: an
+// escalation raises the rung to the terminal precision; an immediate
+// success decays it halfway toward the base, so a run of easy inputs
+// returns to cheap evaluations without forgetting a hard neighbourhood in
+// one step.
+func ladderRecord(f Func, terminal uint, depth int) {
+	if depth > 0 {
+		ladders[f].Store(uint64(terminal))
+		return
+	}
+	next := terminal / 2
+	if next < basePrec {
+		next = basePrec
+	}
+	ladders[f].Store(uint64(next))
+}
+
 // Compute evaluates f(x) once for later rounding. The domain restrictions
 // of Correct apply.
 func Compute(f Func, x float64) *Value {
@@ -245,7 +300,8 @@ func Compute(f Func, x float64) *Value {
 		v.exact = r
 		return v
 	}
-	v.prec = 80
+	v.prec = ladderStart(f)
+	metricsFor(f).observeLadderStart(v.prec)
 	v.y = f.EvalBig(x, v.prec)
 	return v
 }
@@ -270,6 +326,7 @@ func (v *Value) Round(t fp.Format, m fp.Mode) float64 {
 	for {
 		if r, ok := roundUnambiguous(v.y, v.prec-8, t, m); ok {
 			metricsFor(v.fn).observeZiv(depth, v.prec)
+			ladderRecord(v.fn, v.prec, depth)
 			return r
 		}
 		if v.prec > 16384 {
@@ -280,6 +337,12 @@ func (v *Value) Round(t fp.Format, m fp.Mode) float64 {
 		depth++
 	}
 }
+
+// TerminalPrec returns the working precision the last Round (or the initial
+// Compute) left the value at — 0 for exact and symbolic results, which never
+// run the Ziv loop. The golden hard-case vectors pin this so ladder or
+// evaluation changes cannot silently deepen the escalations.
+func (v *Value) TerminalPrec() uint { return v.prec }
 
 // Correct returns the correctly rounded value of f(x) in format t under
 // rounding mode m. x must be finite and inside the function's domain
@@ -308,17 +371,38 @@ func roundSymbolic(t fp.Format, m fp.Mode, huge bool) float64 {
 	return t.RoundRat(tiny, m)
 }
 
+// ResetLadders drops every function's precision ladder back to the base
+// rung. Tests and benchmarks that assert terminal Ziv precisions call this
+// first: the ladder is process-global advisory state, so without a reset
+// the starting precision would depend on whatever ran before.
+func ResetLadders() {
+	for i := range ladders {
+		ladders[i].Store(0)
+	}
+}
+
+// scratchPool recycles the three big.Float temporaries of roundUnambiguous.
+// Round is the hottest call in the repository (once per enumerated input
+// per (format, mode)); without the pool each call allocates three mantissa
+// buffers that die microseconds later. SetPrec reuses the pooled mantissa
+// storage when the precision fits.
+var scratchPool = sync.Pool{New: func() any { return new(roundScratch) }}
+
+type roundScratch struct{ e, lo, hi big.Float }
+
 // roundUnambiguous rounds y under the assumption |relative error| <
 // 2^-errBits; ok is false when the error interval straddles a rounding
 // boundary and more precision is needed.
 func roundUnambiguous(y *big.Float, errBits uint, t fp.Format, m fp.Mode) (float64, bool) {
 	wp := y.Prec() + 8
-	e := new(big.Float).SetPrec(wp).Abs(y)
+	sc := scratchPool.Get().(*roundScratch)
+	e := sc.e.SetPrec(wp).Abs(y)
 	e.SetMantExp(e, -int(errBits))
-	lo := new(big.Float).SetPrec(wp).Sub(y, e)
-	hi := new(big.Float).SetPrec(wp).Add(y, e)
+	lo := sc.lo.SetPrec(wp).Sub(y, e)
+	hi := sc.hi.SetPrec(wp).Add(y, e)
 	vlo := t.RoundBigFloat(lo, m)
 	vhi := t.RoundBigFloat(hi, m)
+	scratchPool.Put(sc)
 	if sameFloat(vlo, vhi) {
 		return vlo, true
 	}

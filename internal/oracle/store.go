@@ -1,0 +1,474 @@
+package oracle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"rlibm/internal/fp"
+)
+
+// StoreVersion is the on-disk segment format version. Bump it whenever the
+// record layout, the key semantics, or the oracle's numeric behaviour
+// changes: segments with a different version are quarantined on open, so a
+// stale cache can never feed wrong values into generation. CI keys its
+// cross-run cache directory on this constant.
+const StoreVersion = 1
+
+// The segment file layout (all integers little-endian):
+//
+//	header:  magic "RLOC" | version uint32
+//	records: N x 20 bytes: fn uint8 | tBits uint8 | tExpBits uint8 |
+//	         mode uint8 | xbits uint64 | ybits uint64
+//	trailer: magic "RLOE" | count uint64 | crc32(IEEE, all record bytes)
+//
+// Segments are immutable once written: a run appends new results to a
+// private write-ahead file and seals it into a fresh segment on Close
+// (trailer, fsync, atomic rename). Anything that fails validation — short
+// file, bad magic, version mismatch, count/CRC mismatch, impossible record —
+// is renamed to *.quarantined and the open continues; a corrupt cache costs
+// recomputation, never wrong results.
+const (
+	segMagic     = "RLOC"
+	segEndMagic  = "RLOE"
+	segHeaderLen = 8
+	segRecordLen = 20
+	segTrailerLen = 16
+	segSuffix    = ".seg"
+	quarantineSuffix = ".quarantined"
+)
+
+// defaultCompactThreshold is the valid-segment count above which Open
+// rewrites the directory into a single compacted segment.
+const defaultCompactThreshold = 8
+
+// StoreOptions configures OpenStore.
+type StoreOptions struct {
+	// ReadOnly loads existing segments but never writes: Append is a no-op
+	// and no compaction happens. Use for runs that must not grow the cache
+	// (CI replay, concurrent readers of a shared directory).
+	ReadOnly bool
+	// CompactThreshold overrides the segment count that triggers compaction
+	// on open (0 selects the default; negative disables compaction).
+	CompactThreshold int
+	// NoSync skips the fsync when sealing segments (tests only).
+	NoSync bool
+}
+
+// StoreStats describes a store's disk state and activity.
+type StoreStats struct {
+	Dir string `json:"dir"`
+	// Segments and SegmentBytes describe the valid segments found at open
+	// (after compaction, when it ran).
+	Segments     int   `json:"segments"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	// LoadedEntries is the number of records read from disk at open
+	// (duplicates across segments count once per occurrence).
+	LoadedEntries int `json:"loaded_entries"`
+	// AppendedEntries is the number of fresh results recorded this run.
+	AppendedEntries int64 `json:"appended_entries"`
+	// Quarantined counts segments renamed aside for failing validation.
+	Quarantined int `json:"quarantined"`
+	// Compacted reports whether this open rewrote the segments.
+	Compacted bool `json:"compacted,omitempty"`
+	ReadOnly  bool `json:"readonly,omitempty"`
+}
+
+// Store is the persistent, disk-backed layer of the oracle cache: a
+// directory of versioned, CRC-validated, append-only segment files keyed by
+// (function, input bits, target format, rounding mode). A Store is safe for
+// concurrent use; open one per directory per process.
+type Store struct {
+	dir      string
+	opts     StoreOptions
+	stats    StoreStats
+
+	mu      sync.Mutex
+	entries map[cacheKey]float64 // loaded at open, handed to AttachStore
+	writers map[Func]*segWriter  // lazily created per-function write logs
+	writeErr error
+	closed  bool
+}
+
+// OpenStore opens (creating if needed) the cache directory, validates and
+// loads every segment, quarantines corrupt or version-mismatched ones, and
+// compacts the directory when it has accumulated too many segments.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("oracle: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("oracle: cache dir: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		entries: make(map[cacheKey]float64),
+		writers: make(map[Func]*segWriter),
+	}
+	s.stats.Dir = dir
+	s.stats.ReadOnly = opts.ReadOnly
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	thresh := opts.CompactThreshold
+	if thresh == 0 {
+		thresh = defaultCompactThreshold
+	}
+	if !opts.ReadOnly && thresh > 0 && s.stats.Segments > thresh {
+		if err := s.compact(); err != nil {
+			return nil, err
+		}
+	}
+	storeMetrics().open(&s.stats)
+	return s, nil
+}
+
+// load reads every *.seg file in lexical order, later segments winning on
+// duplicate keys. Invalid segments are quarantined, not fatal.
+func (s *Store) load() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*"+segSuffix))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n, size, err := s.loadSegment(name)
+		if err != nil {
+			s.quarantine(name, err)
+			continue
+		}
+		s.stats.Segments++
+		s.stats.SegmentBytes += size
+		s.stats.LoadedEntries += n
+	}
+	return nil
+}
+
+// loadSegment validates and reads one segment into s.entries.
+func (s *Store) loadSegment(name string) (records int, size int64, err error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	size = int64(len(data))
+	if len(data) < segHeaderLen+segTrailerLen {
+		return 0, size, fmt.Errorf("truncated segment (%d bytes)", len(data))
+	}
+	if string(data[:4]) != segMagic {
+		return 0, size, fmt.Errorf("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != StoreVersion {
+		return 0, size, fmt.Errorf("segment version %d, want %d", v, StoreVersion)
+	}
+	payload := data[segHeaderLen : len(data)-segTrailerLen]
+	trailer := data[len(data)-segTrailerLen:]
+	if string(trailer[:4]) != segEndMagic {
+		return 0, size, fmt.Errorf("bad trailer magic %q", trailer[:4])
+	}
+	count := binary.LittleEndian.Uint64(trailer[4:12])
+	if uint64(len(payload)) != count*segRecordLen {
+		return 0, size, fmt.Errorf("record count %d does not match payload of %d bytes", count, len(payload))
+	}
+	if crc := binary.LittleEndian.Uint32(trailer[12:16]); crc != crc32.ChecksumIEEE(payload) {
+		return 0, size, fmt.Errorf("CRC mismatch")
+	}
+	for off := 0; off < len(payload); off += segRecordLen {
+		rec := payload[off : off+segRecordLen]
+		fn := Func(rec[0])
+		if int(fn) < 0 || int(fn) >= numFuncs {
+			return 0, size, fmt.Errorf("record %d: impossible function %d", off/segRecordLen, rec[0])
+		}
+		k := cacheKey{
+			fn:   fn,
+			t:    fp.Format{Bits: int(rec[1]), ExpBits: int(rec[2])},
+			mode: fp.Mode(rec[3]),
+			bits: binary.LittleEndian.Uint64(rec[4:12]),
+		}
+		s.entries[k] = math.Float64frombits(binary.LittleEndian.Uint64(rec[12:20]))
+		records++
+	}
+	return records, size, nil
+}
+
+// quarantine renames a failed segment aside so the next open does not trip
+// over it again, and so an operator can inspect it.
+func (s *Store) quarantine(name string, cause error) {
+	dst := name + quarantineSuffix
+	for i := 2; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s%s.%d", name, quarantineSuffix, i)
+	}
+	_ = os.Rename(name, dst)
+	s.stats.Quarantined++
+	storeMetrics().quarantined.Inc()
+}
+
+// compact rewrites every loaded entry into one fresh segment and deletes the
+// old segment files. Crash-safe: the new segment is sealed (fsync + rename)
+// before anything is removed, and duplicate entries are harmless on load.
+func (s *Store) compact() error {
+	old, err := filepath.Glob(filepath.Join(s.dir, "*"+segSuffix))
+	if err != nil {
+		return err
+	}
+	w, err := newSegWriter(s.dir, "compact", s.opts.NoSync)
+	if err != nil {
+		return err
+	}
+	keys := make([]cacheKey, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	// Sorted by (function, input bits): the compacted segment is the
+	// "compacted index" of the format — binary-searchable offline and
+	// byte-for-byte reproducible from the same entry set.
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.fn != b.fn {
+			return a.fn < b.fn
+		}
+		if a.bits != b.bits {
+			return a.bits < b.bits
+		}
+		if a.t.Bits != b.t.Bits {
+			return a.t.Bits < b.t.Bits
+		}
+		if a.t.ExpBits != b.t.ExpBits {
+			return a.t.ExpBits < b.t.ExpBits
+		}
+		return a.mode < b.mode
+	})
+	for _, k := range keys {
+		if err := w.append(k, s.entries[k]); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	size, err := w.seal()
+	if err != nil {
+		return err
+	}
+	for _, name := range old {
+		if err := os.Remove(name); err != nil {
+			return err
+		}
+	}
+	s.stats.Segments = 1
+	s.stats.SegmentBytes = size
+	s.stats.Compacted = true
+	return nil
+}
+
+// Append records one freshly computed oracle result. No-op in read-only
+// mode, after Close, or after a write error (which Close reports).
+func (s *Store) Append(k cacheKey, y float64) {
+	if s.opts.ReadOnly {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.writeErr != nil {
+		return
+	}
+	w := s.writers[k.fn]
+	if w == nil {
+		var err error
+		w, err = newSegWriter(s.dir, k.fn.String(), s.opts.NoSync)
+		if err != nil {
+			s.writeErr = err
+			return
+		}
+		s.writers[k.fn] = w
+	}
+	if err := w.append(k, y); err != nil {
+		s.writeErr = err
+		return
+	}
+	s.stats.AppendedEntries++
+	storeMetrics().appended.Inc()
+}
+
+// Close seals this run's write logs into immutable segments (trailer, fsync,
+// atomic rename) and reports the first write error, if any. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.entries = nil
+	first := s.writeErr
+	fns := make([]Func, 0, len(s.writers))
+	for fn := range s.writers {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i] < fns[j] })
+	for _, fn := range fns {
+		w := s.writers[fn]
+		if first != nil {
+			w.abort()
+			continue
+		}
+		if _, err := w.seal(); err != nil {
+			first = err
+		}
+	}
+	s.writers = nil
+	if first != nil {
+		return fmt.Errorf("oracle: cache store %s: %w", s.dir, first)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's activity.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ClearCacheDir removes every cache artifact (segments, quarantined
+// segments, abandoned write logs) from dir, refusing to touch anything it
+// does not recognize. A missing directory is not an error.
+func ClearCacheDir(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		ours := strings.HasSuffix(name, segSuffix) ||
+			strings.Contains(name, segSuffix+quarantineSuffix) ||
+			(strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".tmp"))
+		if !ours {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segWriter accumulates records for one sealed-on-close segment.
+type segWriter struct {
+	dir    string
+	tmp    string
+	f      *os.File
+	bw     *bufio.Writer
+	crc    uint32
+	count  uint64
+	noSync bool
+	label  string
+}
+
+var segNonce struct {
+	mu sync.Mutex
+	n  int
+}
+
+// nextNonce returns a process-unique suffix for write-log and segment names,
+// so concurrent stores (and concurrent runs: the pid participates) never
+// collide without needing wall-clock or randomness.
+func nextNonce() string {
+	segNonce.mu.Lock()
+	segNonce.n++
+	n := segNonce.n
+	segNonce.mu.Unlock()
+	return fmt.Sprintf("%d-%d", os.Getpid(), n)
+}
+
+func newSegWriter(dir, label string, noSync bool) (*segWriter, error) {
+	tmp := filepath.Join(dir, fmt.Sprintf("wal-%s-%s.tmp", label, nextNonce()))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &segWriter{dir: dir, tmp: tmp, f: f, bw: bufio.NewWriterSize(f, 1<<16), noSync: noSync, label: label}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:4], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], StoreVersion)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.abort()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *segWriter) append(k cacheKey, y float64) error {
+	var rec [segRecordLen]byte
+	rec[0] = byte(k.fn)
+	rec[1] = byte(k.t.Bits)
+	rec[2] = byte(k.t.ExpBits)
+	rec[3] = byte(k.mode)
+	binary.LittleEndian.PutUint64(rec[4:12], k.bits)
+	binary.LittleEndian.PutUint64(rec[12:20], math.Float64bits(y))
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, rec[:])
+	w.count++
+	_, err := w.bw.Write(rec[:])
+	return err
+}
+
+// seal writes the trailer, fsyncs, and atomically renames the write log
+// into a visible segment. An empty log (a fully warm run) is deleted
+// instead: zero-record segments would only accumulate open-validation work.
+func (w *segWriter) seal() (int64, error) {
+	if w.count == 0 {
+		w.abort()
+		return 0, nil
+	}
+	var tr [segTrailerLen]byte
+	copy(tr[:4], segEndMagic)
+	binary.LittleEndian.PutUint64(tr[4:12], w.count)
+	binary.LittleEndian.PutUint32(tr[12:16], w.crc)
+	if _, err := w.bw.Write(tr[:]); err != nil {
+		w.abort()
+		return 0, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.abort()
+		return 0, err
+	}
+	if !w.noSync {
+		if err := w.f.Sync(); err != nil {
+			w.abort()
+			return 0, err
+		}
+	}
+	size, err := w.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		w.abort()
+		return 0, err
+	}
+	if err := w.f.Close(); err != nil {
+		_ = os.Remove(w.tmp)
+		return 0, err
+	}
+	dst := filepath.Join(w.dir, fmt.Sprintf("seg-%s-%s%s", w.label, nextNonce(), segSuffix))
+	if err := os.Rename(w.tmp, dst); err != nil {
+		_ = os.Remove(w.tmp)
+		return 0, err
+	}
+	return size, nil
+}
+
+// abort discards the write log.
+func (w *segWriter) abort() {
+	_ = w.f.Close()
+	_ = os.Remove(w.tmp)
+}
