@@ -19,9 +19,9 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
+	"rlibm/internal/cliflags"
 	"rlibm/internal/core"
 	"rlibm/internal/fp"
 	"rlibm/internal/libm"
@@ -50,6 +50,8 @@ type benchReport struct {
 	Gen *genBenchReport `json:"gen,omitempty"`
 
 	Cache *cacheBenchReport `json:"cache,omitempty"`
+
+	Serve *serveBenchReport `json:"serve,omitempty"`
 }
 
 // cacheBenchReport is the -cache-bench section: the same generation run
@@ -139,14 +141,16 @@ func main() {
 		genBench = flag.Bool("gen", false, "benchmark the generation pipeline instead: core.Generate wall-clock serial vs -j workers")
 		genBits  = flag.Int("gen-bits", 18, "input format width for -gen and -cache-bench")
 		cacheB   = flag.Bool("cache-bench", false, "benchmark the persistent oracle cache instead: a log2 stride-1 generation cold, warm and with no cache (uses -cache-dir or a temp dir)")
-		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the -gen parallel run")
+		serveB   = flag.Bool("serve-bench", false, "benchmark the HTTP serving layer instead: in-process server, concurrent clients over all func x scheme combos, bit-for-bit verification")
+		serveCl  = flag.Int("serve-clients", 4, "concurrent clients for -serve-bench")
+		serveReq = flag.Int("serve-requests", 120, "requests per client for -serve-bench")
+		serveBat = flag.Int("serve-batch", 4096, "elements per request for -serve-bench")
 		outPath  = flag.String("out", "", "write a machine-readable JSON benchmark report to this file (\"auto\" = BENCH_<timestamp>.json)")
-		common   = obs.RegisterCommonFlags(flag.CommandLine)
-		cacheFl  = oracle.RegisterCacheFlags(flag.CommandLine)
+		opts     = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
-	ro, err := common.Start()
+	ro, err := opts.Obs.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -155,7 +159,7 @@ func main() {
 	rep := &benchReport{Tool: "rlibm-bench", Git: obs.GitDescribe(), Seed: *seed}
 
 	if *genBench {
-		rep.Gen = benchGenerate(*genBits, *workers, *seed)
+		rep.Gen = benchGenerate(*genBits, opts.WorkerCount(), *seed)
 		if *outPath != "" {
 			writeReport(*outPath, rep)
 		}
@@ -165,7 +169,17 @@ func main() {
 		return
 	}
 	if *cacheB {
-		rep.Cache = benchCache(*genBits, *workers, *seed, cacheFl.Dir)
+		rep.Cache = benchCache(*genBits, opts.WorkerCount(), *seed, opts.Cache.Dir)
+		if *outPath != "" {
+			writeReport(*outPath, rep)
+		}
+		if err := ro.Close(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *serveB {
+		rep.Serve = benchServe(*serveCl, *serveReq, *serveBat, *rounds, *seed)
 		if *outPath != "" {
 			writeReport(*outPath, rep)
 		}

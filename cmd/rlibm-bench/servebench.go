@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlibm/internal/obs"
+	"rlibm/internal/serve"
+	"rlibm/pkg/rlibm"
+)
+
+// serveBenchReport is the -serve-bench section: end-to-end load numbers for
+// the HTTP serving layer (binary endpoint) plus the per-element comparison
+// between the batch kernel path and per-call scalar dispatch that motivates
+// it. Mismatches counts responses that were not bit-identical to a direct
+// kernel call and must be zero.
+type serveBenchReport struct {
+	Clients    int   `json:"clients"`
+	BatchElems int   `json:"batch_elems"`
+	Requests   int   `json:"requests"`
+	Elems      int64 `json:"elems"`
+	Mismatches int64 `json:"mismatches"`
+
+	DurationMs  float64 `json:"duration_ms"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	MelemPerSec float64 `json:"melem_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P90Us       float64 `json:"p90_us"`
+	P99Us       float64 `json:"p99_us"`
+
+	// ScalarNsPerElem runs Eval in a loop (per-call table dispatch);
+	// BatchNsPerElem runs EvalBatch over the same inputs. The speedup is the
+	// win from the generated blocked batch kernels alone — same machine, same
+	// sweep, no HTTP in either number.
+	ScalarNsPerElem float64 `json:"scalar_ns_per_elem"`
+	BatchNsPerElem  float64 `json:"batch_ns_per_elem"`
+	BatchSpeedupPct float64 `json:"batch_speedup_pct"`
+}
+
+// benchServe spins up the serving stack in-process on a loopback listener,
+// drives clients concurrent HTTP clients round-robin over all func x scheme
+// combinations on the binary endpoint, and verifies every response element
+// bit-for-bit against a direct kernel call.
+func benchServe(clients, reqsPerClient, batchElems, rounds int, seed int64) *serveBenchReport {
+	fmt.Printf("rlibm-bench -serve-bench: %d clients x %d requests, %d elems/request, seed %d\n",
+		clients, reqsPerClient, batchElems, seed)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		MaxBatch: batchElems,
+		Registry: obs.NewRegistry(),
+		Log:      obs.NewLogger(io.Discard, obs.LevelQuiet),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Every client cycles through all 24 combos, offset by its index so the
+	// server sees a mixed stream rather than 24 synchronized phases.
+	type combo struct {
+		f rlibm.Func
+		s rlibm.Scheme
+	}
+	var combos []combo
+	for _, f := range rlibm.Funcs {
+		for _, s := range rlibm.Schemes {
+			combos = append(combos, combo{f, s})
+		}
+	}
+
+	var (
+		mismatches atomic.Int64
+		wg         sync.WaitGroup
+		latencies  = make([][]time.Duration, clients)
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			src := make([]float32, batchElems)
+			frame := make([]byte, 4*batchElems)
+			lat := make([]time.Duration, 0, reqsPerClient)
+			for r := 0; r < reqsPerClient; r++ {
+				cb := combos[(c+r)%len(combos)]
+				fillSweep32(src, cb.f, rng)
+				for i, x := range src {
+					binary.LittleEndian.PutUint32(frame[4*i:], math.Float32bits(x))
+				}
+				url := fmt.Sprintf("%s/v1/evalbin/%v/%v", base, cb.f, cb.s)
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(frame))
+				if err != nil {
+					fatal(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					fatal(fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, body))
+				}
+				if len(body) != 4*len(src) {
+					fatal(fmt.Errorf("%s: response has %d bytes, want %d", url, len(body), 4*len(src)))
+				}
+				k := rlibm.Kernel(cb.f, cb.s)
+				for i, x := range src {
+					got := math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+					want := float32(k(float64(x)))
+					if math.Float32bits(got) != math.Float32bits(want) {
+						mismatches.Add(1)
+					}
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	cancel()
+	if err := <-serveErr; err != nil {
+		fatal(err)
+	}
+
+	var all []time.Duration
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		return float64(all[int(q*float64(len(all)-1))]) / 1e3
+	}
+
+	requests := clients * reqsPerClient
+	rep := &serveBenchReport{
+		Clients:     clients,
+		BatchElems:  batchElems,
+		Requests:    requests,
+		Elems:       int64(requests) * int64(batchElems),
+		Mismatches:  mismatches.Load(),
+		DurationMs:  elapsed.Seconds() * 1e3,
+		ReqPerSec:   float64(requests) / elapsed.Seconds(),
+		MelemPerSec: float64(requests) * float64(batchElems) / elapsed.Seconds() / 1e6,
+		P50Us:       pct(0.50),
+		P90Us:       pct(0.90),
+		P99Us:       pct(0.99),
+	}
+	rep.ScalarNsPerElem, rep.BatchNsPerElem = benchDispatch(batchElems, rounds, seed)
+	rep.BatchSpeedupPct = (rep.ScalarNsPerElem/rep.BatchNsPerElem - 1) * 100
+
+	fmt.Printf("  %d requests (%d elems) in %v: %.0f req/s, %.1f Melem/s\n",
+		rep.Requests, rep.Elems, elapsed.Round(time.Millisecond), rep.ReqPerSec, rep.MelemPerSec)
+	fmt.Printf("  latency p50 %.0f us   p90 %.0f us   p99 %.0f us\n", rep.P50Us, rep.P90Us, rep.P99Us)
+	fmt.Printf("  scalar dispatch %.2f ns/elem   batch %.2f ns/elem   (batch %.1f%% faster)\n",
+		rep.ScalarNsPerElem, rep.BatchNsPerElem, rep.BatchSpeedupPct)
+	if rep.Mismatches != 0 {
+		fmt.Fprintf(os.Stderr, "rlibm-bench: %d responses not bit-identical to direct kernel calls\n", rep.Mismatches)
+		os.Exit(1)
+	}
+	fmt.Println("  all responses bit-identical to direct kernel calls: ok")
+	return rep
+}
+
+// benchDispatch times per-call scalar dispatch (Eval in a loop) against the
+// batch entry point (EvalBatch) over identical sweeps, best of rounds,
+// averaged across all six functions with the Estrin+FMA scheme. Per-element
+// nanoseconds for both paths.
+func benchDispatch(n, rounds int, seed int64) (scalarNs, batchNs float64) {
+	src := make([]float32, n)
+	dst := make([]float32, n)
+	rng := rand.New(rand.NewSource(seed))
+	var sink float32
+	for _, f := range rlibm.Funcs {
+		fillSweep32(src, f, rng)
+		bestScalar, bestBatch := math.Inf(1), math.Inf(1)
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			for i, x := range src {
+				dst[i] = rlibm.Eval(f, rlibm.EstrinFMA, x)
+			}
+			if ns := time.Since(t0).Seconds() * 1e9 / float64(n); ns < bestScalar {
+				bestScalar = ns
+			}
+			sink += dst[0]
+			t0 = time.Now()
+			rlibm.EvalBatch(f, rlibm.EstrinFMA, dst, src)
+			if ns := time.Since(t0).Seconds() * 1e9 / float64(n); ns < bestBatch {
+				bestBatch = ns
+			}
+			sink += dst[0]
+		}
+		scalarNs += bestScalar
+		batchNs += bestBatch
+	}
+	if sink == 42 { // defeat dead-code elimination
+		fmt.Fprint(os.Stderr, "")
+	}
+	return scalarNs / float64(len(rlibm.Funcs)), batchNs / float64(len(rlibm.Funcs))
+}
+
+// fillSweep32 draws float32 inputs from the function's polynomial-path
+// domain (the same ranges makeSweep uses) so the load measures kernel
+// evaluation, not special-case plateaus.
+func fillSweep32(dst []float32, f rlibm.Func, rng *rand.Rand) {
+	for i := range dst {
+		switch f {
+		case rlibm.FuncExp:
+			dst[i] = float32(rng.Float64()*176 - 87)
+		case rlibm.FuncExp2:
+			dst[i] = float32(rng.Float64()*252 - 126)
+		case rlibm.FuncExp10:
+			dst[i] = float32(rng.Float64()*76 - 38)
+		default: // logarithms: positive values across the full binade range
+			dst[i] = float32(math.Ldexp(1+rng.Float64(), rng.Intn(252)-126))
+		}
+	}
+}

@@ -16,12 +16,12 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"rlibm/internal/cliflags"
 	"rlibm/internal/core"
 	"rlibm/internal/fp"
 	"rlibm/internal/libm"
@@ -39,9 +39,7 @@ func main() {
 		seed       = flag.Int64("seed", time.Now().UnixNano(), "seed for the random inputs")
 		useFuncs   = flag.Bool("funcs", false, "check the straight-line function backend instead of the data-driven one")
 		maxWrong   = flag.Int("max-wrong", 0, "exit zero if at most this many wrong results are found (the shipped stride-trained polynomials have a documented ~3e-5 single-ulp residual at 32 bits; see DESIGN.md)")
-		workers    = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines sharding the sweep (the oracle dominates; the report is identical for every value)")
-		common     = obs.RegisterCommonFlags(flag.CommandLine)
-		cacheFlags = oracle.RegisterCacheFlags(flag.CommandLine)
+		opts       = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -55,12 +53,12 @@ func main() {
 		widthList = append(widthList, w)
 	}
 
-	ro, err := common.Start()
+	ro, err := opts.Obs.Start()
 	if err != nil {
 		fatal(err)
 	}
 	defer ro.Close()
-	store, err := cacheFlags.Open()
+	store, err := opts.Cache.Open()
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +75,7 @@ func main() {
 		cache.AttachStore(store)
 	}
 	var report *core.RunReport
-	if common.ReportPath != "" {
+	if opts.Obs.ReportPath != "" {
 		report = core.NewRunReport("rlibm-check")
 		flag.Visit(func(f *flag.Flag) { report.Config[f.Name] = f.Value.String() })
 	}
@@ -101,7 +99,7 @@ func main() {
 				impl = func(x float32, _ libm.Scheme) float64 { return gen(float64(x)) }
 			}
 			sp := ro.Tracer.StartSpan("check", obs.Attrs{"fn": f.Name, "scheme": s.String()})
-			checked, wrong, first := checkOne(ofn, impl, s, *stride, *random, widthList, *seed, *workers, cache)
+			checked, wrong, first := checkOne(ofn, impl, s, *stride, *random, widthList, *seed, opts.WorkerCount(), cache)
 			sp.End(obs.Attrs{"checked": checked, "wrong": wrong})
 			status := "OK"
 			if wrong > 0 {
@@ -128,7 +126,7 @@ func main() {
 	}
 	if report != nil {
 		report.AttachMetrics(obs.Default())
-		if err := report.WriteFile(common.ReportPath); err != nil {
+		if err := report.WriteFile(opts.Obs.ReportPath); err != nil {
 			fatal(err)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"rlibm/internal/cliflags"
 	"rlibm/internal/libm"
 	"rlibm/internal/oracle"
 )
@@ -24,11 +25,17 @@ import (
 func main() {
 	out := flag.String("out", "internal/libm/zz_generated_funcs.go", "output path")
 	cacheOnly := flag.Bool("cache-only", false, "only administer the cache named by -cache-dir; do not regenerate the function backend")
-	cacheFlags := oracle.RegisterCacheFlags(flag.CommandLine)
+	opts := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if cacheFlags.Dir != "" || cacheFlags.Clear || cacheFlags.ReadOnly {
-		adminCache(cacheFlags)
+	ro, err := opts.Obs.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer ro.Close()
+
+	if opts.Cache.Dir != "" || opts.Cache.Clear || opts.Cache.ReadOnly {
+		adminCache(opts.Cache)
 	} else if *cacheOnly {
 		fatal(fmt.Errorf("-cache-only needs -cache-dir"))
 	}

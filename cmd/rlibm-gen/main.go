@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"rlibm/internal/cliflags"
 	"rlibm/internal/core"
 	"rlibm/internal/fp"
 	"rlibm/internal/obs"
@@ -44,14 +45,12 @@ func main() {
 		expBits    = flag.Int("expbits", 8, "input format exponent width")
 		stride     = flag.Uint64("stride", 4093, "enumerate every stride-th input bit pattern (a prime avoids aliasing with mantissa bit boundaries)")
 		seed       = flag.Int64("seed", 1, "random seed for constraint sampling")
-		workers    = flag.Int("j", 0, "worker goroutines for collection/checking and concurrent schemes (0 = GOMAXPROCS); results are identical for every value")
 		degree     = flag.Int("degree", 0, "starting polynomial degree (0 = per-function default)")
 		pieces     = flag.Int("pieces", 0, "piecewise pieces (0 = per-function default)")
 		emit       = flag.String("emit", "", "write the internal/libm Go data file to this path")
 		table1     = flag.Bool("table1", false, "print a Table-1-style summary")
 		timeout    = flag.Duration("timeout", 0, "abort generation after this long (0 = no limit); cancellation reaches down into the simplex pivot loop")
-		common     = obs.RegisterCommonFlags(flag.CommandLine)
-		cacheFlags = oracle.RegisterCacheFlags(flag.CommandLine)
+		opts       = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -87,13 +86,13 @@ func main() {
 		schemes = []poly.Scheme{s}
 	}
 
-	ro, err := common.Start()
+	ro, err := opts.Obs.Start()
 	if err != nil {
 		fatal(err)
 	}
 	defer ro.Close()
 
-	store, err := cacheFlags.Open()
+	store, err := opts.Cache.Open()
 	if err != nil {
 		fatal(err)
 	}
@@ -106,7 +105,7 @@ func main() {
 
 	reg := obs.NewRegistry()
 	var report *core.RunReport
-	if common.ReportPath != "" {
+	if opts.Obs.ReportPath != "" {
 		report = core.NewRunReport("rlibm-gen")
 		flag.Visit(func(f *flag.Flag) { report.Config[f.Name] = f.Value.String() })
 		report.Config["func"] = *fnFlag
@@ -124,7 +123,7 @@ func main() {
 			Seed:    *seed,
 			Degree:  *degree,
 			Pieces:  *pieces,
-			Workers: *workers,
+			Workers: opts.Workers,
 			Store:   store,
 			Logger:  ro.Log,
 			Metrics: reg,
@@ -150,7 +149,7 @@ func main() {
 						report.AttachCache(store.Stats(), cacheHits, cacheMisses)
 					}
 					report.AttachMetrics(reg, obs.Default())
-					if werr := report.WriteFile(common.ReportPath); werr != nil {
+					if werr := report.WriteFile(opts.Obs.ReportPath); werr != nil {
 						fatal(werr)
 					}
 				}
@@ -219,10 +218,10 @@ func main() {
 	}
 	if report != nil {
 		report.AttachMetrics(reg, obs.Default())
-		if err := report.WriteFile(common.ReportPath); err != nil {
+		if err := report.WriteFile(opts.Obs.ReportPath); err != nil {
 			fatal(err)
 		}
-		ro.Log.Infof("wrote %s", common.ReportPath)
+		ro.Log.Infof("wrote %s", opts.Obs.ReportPath)
 	}
 	if err := ro.Close(); err != nil {
 		fatal(err)

@@ -1,0 +1,80 @@
+// Command rlibm-serve exposes the generated correctly rounded elementary
+// functions as a batched HTTP evaluation service (see internal/serve for the
+// endpoint contract).
+//
+// Usage:
+//
+//	rlibm-serve [-addr :8090] [-max-batch 1048576]
+//	            [-read-timeout 10s] [-write-timeout 30s] [-drain-timeout 10s]
+//	            [-pprof] [-j 4] [-v|-q] [-trace trace.jsonl]
+//
+// Examples:
+//
+//	rlibm-serve -addr :8090 &
+//	curl -s localhost:8090/healthz
+//	curl -s -X POST localhost:8090/v1/eval/log2/rlibm-estrin-fma -d '{"x":[1,2,8]}'
+//
+// The server drains in-flight requests on SIGINT/SIGTERM (bounded by
+// -drain-timeout) before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rlibm/internal/cliflags"
+	"rlibm/internal/obs"
+	"rlibm/internal/serve"
+	"rlibm/pkg/rlibm"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8090", "listen address")
+		maxBatch     = flag.Int("max-batch", 1<<20, "maximum elements per request")
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "per-request read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		opts         = cliflags.Register(flag.CommandLine)
+	)
+	flag.Parse()
+
+	run, err := opts.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer run.Close()
+
+	// One parallelism budget: -j caps both request handling fan-out inside a
+	// batch call and anything else pkg/rlibm parallelizes.
+	rlibm.SetMaxBatchWorkers(opts.Workers)
+
+	srv := serve.New(serve.Config{
+		Addr:         *addr,
+		MaxBatch:     *maxBatch,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drainTimeout,
+		Log:          run.Log,
+		Registry:     obs.Default(),
+		Tracer:       run.Tracer,
+		EnablePprof:  *pprofFlag,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlibm-serve:", err)
+	os.Exit(1)
+}

@@ -17,6 +17,7 @@ import (
 
 	"rlibm/internal/core"
 	"rlibm/internal/fp"
+	"rlibm/internal/obs"
 	"rlibm/internal/oracle"
 	"rlibm/internal/poly"
 )
@@ -28,7 +29,7 @@ func main() {
 		Scheme: poly.EstrinFMA,
 		Input:  input,
 		Seed:   1,
-		Log:    os.Stdout, // watch the iterations
+		Logger: obs.NewLogger(os.Stdout, obs.LevelDebug), // watch the iterations
 	}
 	fmt.Printf("generating exp2 for all %v inputs (oracle: %d-bit round-to-odd)...\n",
 		input, input.Bits+2)

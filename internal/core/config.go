@@ -21,7 +21,6 @@
 package core
 
 import (
-	"io"
 	"math"
 	"runtime"
 
@@ -93,14 +92,9 @@ type Config struct {
 	// this switch exists for regression testing and for isolating the
 	// warm-start machinery when debugging.
 	ColdLP bool
-	// Log, when non-nil, receives progress lines. Deprecated in favour of
-	// Logger: when Logger is nil and Log is set, a debug-level logger
-	// wrapping Log is installed, preserving the old "everything or nothing"
-	// behaviour.
-	Log io.Writer
 	// Logger, when non-nil, receives leveled progress lines: per-run
-	// summaries at Info, inner-loop detail at Debug. Nil (with Log nil)
-	// silences the pipeline.
+	// summaries at Info, inner-loop detail at Debug. Nil silences the
+	// pipeline.
 	Logger *obs.Logger
 	// Metrics, when non-nil, is the registry the pipeline records its
 	// counters, gauges and histograms into; nil selects a fresh per-run
@@ -169,9 +163,6 @@ func (c *Config) setDefaults() error {
 		if c.Store != nil {
 			c.cache.AttachStore(c.Store)
 		}
-	}
-	if c.Logger == nil && c.Log != nil {
-		c.Logger = obs.NewLogger(c.Log, obs.LevelDebug)
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()

@@ -61,6 +61,46 @@ func TestGeneratedFuncsMatchDataBackend(t *testing.T) {
 	}
 }
 
+// TestGeneratedBlockFuncsMatchScalar: every block kernel is bit-identical to
+// its scalar counterpart on every element, for blocks that mix specials,
+// plateau values and ordinary inputs, at several lengths (including empty).
+func TestGeneratedBlockFuncsMatchScalar(t *testing.T) {
+	if len(GeneratedBlockFuncs) != len(GeneratedFuncs) {
+		t.Fatalf("%d block kernels vs %d scalar kernels", len(GeneratedBlockFuncs), len(GeneratedFuncs))
+	}
+	rng := rand.New(rand.NewSource(212))
+	for key, blk := range GeneratedBlockFuncs {
+		scalar := GeneratedFuncs[key]
+		if scalar == nil {
+			t.Fatalf("block kernel %q has no scalar counterpart", key)
+		}
+		name, _, _ := strings.Cut(key, "/")
+		for _, n := range []int{0, 1, 7, 1000} {
+			src := make([]float64, n)
+			for i := range src {
+				switch i % 9 {
+				case 7:
+					src[i] = []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1)}[i%5]
+				case 8:
+					src[i] = []float64{-150, 128, 1e-40, -1, 1}[i%5]
+				default:
+					src[i] = float64(randInput(rng, name))
+				}
+			}
+			got := append([]float64(nil), src...)
+			blk(got)
+			for i, x := range src {
+				want := scalar(x)
+				if math.Float64bits(got[i]) != math.Float64bits(want) &&
+					!(math.IsNaN(got[i]) && math.IsNaN(want)) {
+					t.Fatalf("%s block(%x=%g) = %x, scalar = %x",
+						key, math.Float64bits(x), x, math.Float64bits(got[i]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
 // TestEmitGeneratedFuncsStable: emitting twice yields identical source (the
 // generator is deterministic).
 func TestEmitGeneratedFuncsStable(t *testing.T) {

@@ -1,0 +1,17 @@
+// Package lp implements an exact rational linear-programming solver — the
+// role SoPlex plays in the paper's prototype. The RLibm formulation is a
+// feasibility system: find polynomial coefficients C such that
+//
+//	l_i  <=  C_0 + C_1*x_i + ... + C_d*x_i^d  <=  h_i
+//
+// for every (reduced input, reduced interval) constraint. All arithmetic is
+// exact rational, so feasibility answers are exact; floating point enters
+// the pipeline only when the generator rounds the solution's coefficients
+// to double — the non-linear step the generate–check–constrain loop
+// absorbs.
+//
+// The package's entry point is the incremental Solver, which keeps the
+// optimal tableau alive across the loop's repeated solves and reoptimizes
+// with the dual simplex (see solver.go). One-shot callers construct a
+// Solver, add their constraints and Resolve once.
+package lp

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -8,12 +9,63 @@ import (
 
 func r(a, b int64) *big.Rat { return big.NewRat(a, b) }
 
+// solvePolyStats solves one polynomial system with a fresh Solver — the
+// one-shot usage pattern the old free functions wrapped.
+func solvePolyStats(cons []Constraint, degree, maxPivots int) ([]*big.Rat, Stats, error) {
+	s := NewSolver(Options{Degree: degree, MaxPivots: maxPivots})
+	s.AddConstraints(cons...)
+	res, err := s.Resolve(context.Background())
+	return res.Coeffs, res.Stats, err
+}
+
+func solvePoly(cons []Constraint, degree int) ([]*big.Rat, bool) {
+	coeffs, _, err := solvePolyStats(cons, degree, 0)
+	return coeffs, err == nil
+}
+
+// solveStandardStats minimizes cost·z subject to A z = b, z >= 0, directly on
+// the tableau layer: the polynomial formulation never produces an unbounded
+// program, so the raw standard form is the only way to reach every verdict.
+func solveStandardStats(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat, maxPivots int) ([]*big.Rat, Stats, error) {
+	if maxPivots <= 0 {
+		maxPivots = DefaultMaxPivots
+	}
+	m, n := len(a), len(cost)
+	var st Stats
+	st.Rows, st.Cols = m, n
+	tb := newTableau(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			tb.rows[i][j].setRat(a[i][j])
+		}
+		tb.rows[i][n].setRat(b[i])
+	}
+	cost2 := make([]sc, n)
+	for j := 0; j < n; j++ {
+		cost2[j].setRat(cost[j])
+	}
+	if err := tb.twoPhase(nil, cost2, maxPivots, &st); err != nil {
+		return nil, st, err
+	}
+	z := make([]*big.Rat, n)
+	for j := 0; j < n; j++ {
+		v := tb.solution(j)
+		z[j] = v.rat()
+	}
+	return z, st, nil
+}
+
+func solveStandard(a [][]*big.Rat, b []*big.Rat, cost []*big.Rat) ([]*big.Rat, bool) {
+	z, _, err := solveStandardStats(a, b, cost, 0)
+	return z, err == nil
+}
+
 func TestSolveStandardBasic(t *testing.T) {
 	// minimize x0 + x1 s.t. x0 + 2x1 = 4, x0, x1 >= 0 -> x = (0, 2), obj 2.
 	a := [][]*big.Rat{{r(1, 1), r(2, 1)}}
 	b := []*big.Rat{r(4, 1)}
 	c := []*big.Rat{r(1, 1), r(1, 1)}
-	z, ok := SolveStandard(a, b, c)
+	z, ok := solveStandard(a, b, c)
 	if !ok {
 		t.Fatal("expected feasible")
 	}
@@ -27,7 +79,7 @@ func TestSolveStandardInfeasible(t *testing.T) {
 	a := [][]*big.Rat{{r(1, 1)}}
 	b := []*big.Rat{r(-1, 1)}
 	c := []*big.Rat{r(0, 1)}
-	if _, ok := SolveStandard(a, b, c); ok {
+	if _, ok := solveStandard(a, b, c); ok {
 		t.Error("expected infeasible")
 	}
 }
@@ -37,7 +89,7 @@ func TestSolveStandardNegativeB(t *testing.T) {
 	a := [][]*big.Rat{{r(-1, 1)}}
 	b := []*big.Rat{r(-3, 1)}
 	c := []*big.Rat{r(1, 1)}
-	z, ok := SolveStandard(a, b, c)
+	z, ok := solveStandard(a, b, c)
 	if !ok || z[0].Cmp(r(3, 1)) != 0 {
 		t.Errorf("z = %v, ok = %v", z, ok)
 	}
@@ -48,7 +100,7 @@ func TestSolveStandardUnbounded(t *testing.T) {
 	a := [][]*big.Rat{{r(1, 1), r(-1, 1)}}
 	b := []*big.Rat{r(0, 1)}
 	c := []*big.Rat{r(-1, 1), r(0, 1)}
-	if _, ok := SolveStandard(a, b, c); ok {
+	if _, ok := solveStandard(a, b, c); ok {
 		t.Error("expected unbounded to report not-ok")
 	}
 }
@@ -61,7 +113,7 @@ func TestSolvePolyInterpolation(t *testing.T) {
 		v := r(i*i, 1)
 		cons = append(cons, Constraint{X: r(i, 1), Lo: v, Hi: v})
 	}
-	coeffs, ok := SolvePoly(cons, 2)
+	coeffs, ok := solvePoly(cons, 2)
 	if !ok {
 		t.Fatal("expected feasible")
 	}
@@ -82,7 +134,7 @@ func TestSolvePolyInfeasible(t *testing.T) {
 		{X: r(1, 1), Lo: r(0, 1), Hi: r(0, 1)},
 		{X: r(1, 1), Lo: r(1, 1), Hi: r(1, 1)},
 	}
-	if _, ok := SolvePoly(cons, 3); ok {
+	if _, ok := solvePoly(cons, 3); ok {
 		t.Error("expected infeasible")
 	}
 	// A degree-1 polynomial cannot pass through three non-collinear points.
@@ -91,7 +143,7 @@ func TestSolvePolyInfeasible(t *testing.T) {
 		{X: r(1, 1), Lo: r(1, 1), Hi: r(1, 1)},
 		{X: r(2, 1), Lo: r(4, 1), Hi: r(4, 1)},
 	}
-	if _, ok := SolvePoly(cons, 1); ok {
+	if _, ok := solvePoly(cons, 1); ok {
 		t.Error("expected infeasible for non-collinear interpolation")
 	}
 }
@@ -118,7 +170,7 @@ func TestSolvePolyRecoversRandomPoly(t *testing.T) {
 				Hi: new(big.Rat).Add(v, eps),
 			})
 		}
-		coeffs, ok := SolvePoly(cons, deg)
+		coeffs, ok := solvePoly(cons, deg)
 		if !ok {
 			t.Fatalf("trial %d: expected feasible (truth exists)", trial)
 		}
@@ -132,7 +184,7 @@ func TestSolvePolyRecoversRandomPoly(t *testing.T) {
 // pushes the polynomial to the interval center.
 func TestSolvePolyMarginCentering(t *testing.T) {
 	cons := []Constraint{{X: r(0, 1), Lo: r(0, 1), Hi: r(2, 1)}}
-	coeffs, ok := SolvePoly(cons, 0)
+	coeffs, ok := solvePoly(cons, 0)
 	if !ok {
 		t.Fatal("expected feasible")
 	}
@@ -149,7 +201,7 @@ func TestSolvePolyMixedSingletonAndWide(t *testing.T) {
 		{X: r(1, 1), Lo: r(2, 1), Hi: r(4, 1)},   // P(1) in [2,4]
 		{X: r(-1, 1), Lo: r(-1, 1), Hi: r(1, 2)}, // P(-1) in [-1,1/2]
 	}
-	coeffs, ok := SolvePoly(cons, 2)
+	coeffs, ok := solvePoly(cons, 2)
 	if !ok {
 		t.Fatal("expected feasible")
 	}
@@ -172,18 +224,23 @@ func TestEvalRat(t *testing.T) {
 
 // TestSolvePolyDegenerate: many duplicated constraints at the same point
 // create degenerate pivots; the Dantzig/Bland hybrid must still terminate.
+// The Solver's per-point bound tightening collapses exact duplicates, so the
+// tableau must shrink to the two distinct points.
 func TestSolvePolyDegenerate(t *testing.T) {
 	var cons []Constraint
 	for i := 0; i < 40; i++ {
 		cons = append(cons, Constraint{X: r(1, 2), Lo: r(1, 1), Hi: r(1, 1)})
 		cons = append(cons, Constraint{X: r(1, 3), Lo: r(2, 1), Hi: r(2, 1)})
 	}
-	coeffs, ok := SolvePoly(cons, 3)
-	if !ok {
-		t.Fatal("degenerate but feasible system reported infeasible")
+	coeffs, st, err := solvePolyStats(cons, 3, 0)
+	if err != nil {
+		t.Fatalf("degenerate but feasible system reported infeasible: %v", err)
 	}
 	if !CheckPoly(coeffs, cons) {
 		t.Fatal("solution violates constraints")
+	}
+	if wantRows := 2*2 + 1; st.Rows != wantRows {
+		t.Errorf("duplicate constraints not collapsed: %d rows, want %d", st.Rows, wantRows)
 	}
 }
 
@@ -199,7 +256,7 @@ func TestSolvePolyHugeDynamicRange(t *testing.T) {
 		{X: r(0, 1), Lo: lo, Hi: hi},
 		{X: r(1, 1<<20), Lo: r(1, 1), Hi: r(2, 1)},
 	}
-	coeffs, ok := SolvePoly(cons, 2)
+	coeffs, ok := solvePoly(cons, 2)
 	if !ok {
 		t.Fatal("expected feasible")
 	}
@@ -221,7 +278,7 @@ func TestSolvePolyManyConstraints(t *testing.T) {
 		eps := big.NewRat(1, 1<<30)
 		cons = append(cons, Constraint{X: x, Lo: new(big.Rat).Sub(v, eps), Hi: new(big.Rat).Add(v, eps)})
 	}
-	coeffs, ok := SolvePoly(cons, 5)
+	coeffs, ok := solvePoly(cons, 5)
 	if !ok {
 		t.Fatal("expected feasible")
 	}

@@ -1,7 +1,6 @@
 package lp
 
 import (
-	"context"
 	"math/big"
 )
 
@@ -10,37 +9,6 @@ import (
 type Constraint struct {
 	X      *big.Rat
 	Lo, Hi *big.Rat
-}
-
-// SolvePoly finds coefficients C_0..C_d with Lo_i <= P(X_i) <= Hi_i for all
-// constraints, maximizing the uniform relative margin: P(X_i) is pushed
-// toward the center of each interval (scaled by its half-width), which makes
-// the subsequent rounding of the exact rational coefficients to double far
-// more likely to preserve feasibility. Returns ok=false when the system is
-// infeasible.
-//
-// Deprecated: one-shot wrapper over Solver; loop callers should hold a
-// Solver to get warm-started resolves.
-func SolvePoly(cons []Constraint, degree int) (coeffs []*big.Rat, ok bool) {
-	coeffs, _, err := SolvePolyStats(cons, degree, DefaultMaxPivots)
-	return coeffs, err == nil
-}
-
-// SolvePolyStats is SolvePoly with observability: it additionally returns
-// the solve statistics (tableau dimensions, per-phase pivot counts) and a
-// typed error distinguishing infeasibility from unboundedness from the
-// pivot-limit backstop. maxPivots <= 0 selects DefaultMaxPivots. The LP
-// formulation (variables c_j = p_j - q_j split into nonnegative pairs, a
-// margin variable t <= 1, one slack per inequality row) now lives in
-// Solver.coldResolve.
-//
-// Deprecated: one-shot wrapper over Solver; loop callers should hold a
-// Solver to get warm-started resolves.
-func SolvePolyStats(cons []Constraint, degree, maxPivots int) (coeffs []*big.Rat, st Stats, err error) {
-	s := NewSolver(Options{Degree: degree, MaxPivots: maxPivots})
-	s.AddConstraints(cons...)
-	res, err := s.Resolve(context.Background())
-	return res.Coeffs, res.Stats, err
 }
 
 // CheckPoly reports whether the exact rational polynomial satisfies every

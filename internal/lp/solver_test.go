@@ -118,7 +118,7 @@ func TestWarmMatchesColdRandom(t *testing.T) {
 }
 
 // TestWarmMatchesColdAccumulated drives one warm solver through a long
-// add-then-tighten sequence against the deprecated SolvePolyStats wrapper,
+// add-then-tighten sequence against a fresh cold solver at every step,
 // which shares none of the warm machinery.
 func TestWarmMatchesColdAccumulated(t *testing.T) {
 	ctx := context.Background()

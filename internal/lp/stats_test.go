@@ -15,7 +15,7 @@ func TestSolvePolyStatsFeasible(t *testing.T) {
 		v := r(i*i, 1)
 		cons = append(cons, Constraint{X: r(i, 1), Lo: v, Hi: v})
 	}
-	coeffs, st, err := SolvePolyStats(cons, 2, 0)
+	coeffs, st, err := solvePolyStats(cons, 2, 0)
 	if err != nil {
 		t.Fatalf("expected feasible, got %v", err)
 	}
@@ -41,7 +41,7 @@ func TestSolvePolyStatsInfeasible(t *testing.T) {
 		{X: r(1, 1), Lo: r(0, 1), Hi: r(0, 1)},
 		{X: r(1, 1), Lo: r(1, 1), Hi: r(1, 1)},
 	}
-	_, st, err := SolvePolyStats(cons, 3, 0)
+	_, st, err := solvePolyStats(cons, 3, 0)
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
@@ -61,7 +61,7 @@ func TestPivotLimit(t *testing.T) {
 		v := r(i*i*i, 1)
 		cons = append(cons, Constraint{X: r(i, 1), Lo: v, Hi: v})
 	}
-	_, st, err := SolvePolyStats(cons, 5, 2)
+	_, st, err := solvePolyStats(cons, 5, 2)
 	var pl *PivotLimitError
 	if !errors.As(err, &pl) {
 		t.Fatalf("err = %v, want *PivotLimitError", err)
@@ -79,7 +79,7 @@ func TestPivotLimit(t *testing.T) {
 		t.Errorf("stats report %d phase-1 pivots under a budget of 2", st.Phase1Pivots)
 	}
 	// A generous budget solves the same system.
-	if _, _, err := SolvePolyStats(cons, 5, 0); err != nil {
+	if _, _, err := solvePolyStats(cons, 5, 0); err != nil {
 		t.Fatalf("default budget: %v", err)
 	}
 }
@@ -95,14 +95,14 @@ func TestPivotLimitPhase2(t *testing.T) {
 	for i := int64(0); i <= 4; i++ {
 		cons = append(cons, Constraint{X: r(i, 1), Lo: r(i-1, 1), Hi: r(i+1, 1)})
 	}
-	_, full, err := SolvePolyStats(cons, 2, 0)
+	_, full, err := solvePolyStats(cons, 2, 0)
 	if err != nil {
 		t.Fatalf("reference solve: %v", err)
 	}
 	if full.Phase2Pivots == 0 {
 		t.Skip("system optimized without phase-2 pivots; limit cannot fire there")
 	}
-	_, _, err = SolvePolyStats(cons, 2, full.Phase1Pivots+full.Phase2Pivots-1)
+	_, _, err = solvePolyStats(cons, 2, full.Phase1Pivots+full.Phase2Pivots-1)
 	var pl *PivotLimitError
 	if !errors.As(err, &pl) {
 		t.Fatalf("err = %v, want *PivotLimitError", err)
@@ -118,7 +118,7 @@ func TestSolveStandardStatsUnbounded(t *testing.T) {
 	a := [][]*big.Rat{{r(1, 1), r(-1, 1)}}
 	b := []*big.Rat{r(0, 1)}
 	c := []*big.Rat{r(-1, 1), r(0, 1)}
-	_, _, err := SolveStandardStats(a, b, c, 0)
+	_, _, err := solveStandardStats(a, b, c, 0)
 	if !errors.Is(err, ErrUnbounded) {
 		t.Fatalf("err = %v, want ErrUnbounded", err)
 	}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPHandler wraps h with the request-level observability the serving layer
+// uses: a request counter ("<name>.requests"), an error counter
+// ("<name>.errors", any response with status >= 400), a latency histogram in
+// nanoseconds ("<name>.latency_ns"), and — when tr is non-nil — one trace
+// span per request carrying method, path and status. A nil registry falls
+// back to the process-wide Default registry.
+func HTTPHandler(r *Registry, tr *Tracer, name string, h http.Handler) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	requests := r.Counter(name + ".requests")
+	errors := r.Counter(name + ".errors")
+	latency := r.Histogram(name + ".latency_ns")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		requests.Inc()
+		var span *Span
+		if tr != nil {
+			span = tr.StartSpan("http."+name, Attrs{
+				"method": req.Method,
+				"path":   req.URL.Path,
+			})
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, req)
+		latency.ObserveDuration(time.Since(start))
+		if sw.status() >= 400 {
+			errors.Inc()
+		}
+		if span != nil {
+			span.End(Attrs{"status": sw.status()})
+		}
+	})
+}
+
+// statusWriter records the response status code (200 if the handler wrote a
+// body without calling WriteHeader, per net/http semantics).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPHandler: the middleware counts requests and error responses,
+// observes latency, and emits one span per request when a tracer is set.
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	var traceBuf strings.Builder
+	tr := NewTracer(&traceBuf)
+	h := HTTPHandler(reg, tr, "t", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			http.Error(w, "no", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200 must not count as an error
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/boom", "/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if n := reg.Counter("t.requests").Value(); n != 3 {
+		t.Errorf("t.requests = %d, want 3", n)
+	}
+	if n := reg.Counter("t.errors").Value(); n != 1 {
+		t.Errorf("t.errors = %d, want 1", n)
+	}
+	if n := reg.Histogram("t.latency_ns").Count(); n != 3 {
+		t.Errorf("t.latency_ns count = %d, want 3", n)
+	}
+	if got := strings.Count(traceBuf.String(), `"http.t"`); got != 3 {
+		t.Errorf("trace has %d http.t spans, want 3:\n%s", got, traceBuf.String())
+	}
+	if !strings.Contains(traceBuf.String(), `"status":500`) {
+		t.Errorf("trace missing status attr:\n%s", traceBuf.String())
+	}
+}

@@ -111,10 +111,10 @@ func (m *fnMetrics) observeLadderStart(prec uint) {
 // for quarantined segments, gauges for the segment count and byte size seen
 // at the most recent open.
 type storeMetricsHandles struct {
-	loaded      *obs.Counter
-	appended    *obs.Counter
-	quarantined *obs.Counter
-	segments    *obs.Gauge
+	loaded       *obs.Counter
+	appended     *obs.Counter
+	quarantined  *obs.Counter
+	segments     *obs.Gauge
 	segmentBytes *obs.Gauge
 }
 

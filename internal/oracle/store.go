@@ -37,12 +37,12 @@ const StoreVersion = 1
 // is renamed to *.quarantined and the open continues; a corrupt cache costs
 // recomputation, never wrong results.
 const (
-	segMagic     = "RLOC"
-	segEndMagic  = "RLOE"
-	segHeaderLen = 8
-	segRecordLen = 20
-	segTrailerLen = 16
-	segSuffix    = ".seg"
+	segMagic         = "RLOC"
+	segEndMagic      = "RLOE"
+	segHeaderLen     = 8
+	segRecordLen     = 20
+	segTrailerLen    = 16
+	segSuffix        = ".seg"
 	quarantineSuffix = ".quarantined"
 )
 
@@ -87,15 +87,15 @@ type StoreStats struct {
 // (function, input bits, target format, rounding mode). A Store is safe for
 // concurrent use; open one per directory per process.
 type Store struct {
-	dir      string
-	opts     StoreOptions
-	stats    StoreStats
+	dir   string
+	opts  StoreOptions
+	stats StoreStats
 
-	mu      sync.Mutex
-	entries map[cacheKey]float64 // loaded at open, handed to AttachStore
-	writers map[Func]*segWriter  // lazily created per-function write logs
+	mu       sync.Mutex
+	entries  map[cacheKey]float64 // loaded at open, handed to AttachStore
+	writers  map[Func]*segWriter  // lazily created per-function write logs
 	writeErr error
-	closed  bool
+	closed   bool
 }
 
 // OpenStore opens (creating if needed) the cache directory, validates and

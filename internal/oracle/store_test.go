@@ -307,7 +307,7 @@ func TestLadder(t *testing.T) {
 	if got := ladderStart(Exp); got != 320 {
 		t.Errorf("after one easy input: start %d, want 320", got)
 	}
-	ladderRecord(Exp, 1 << 20, 5)
+	ladderRecord(Exp, 1<<20, 5)
 	if got := ladderStart(Exp); got != ladderMaxStart {
 		t.Errorf("ladder start %d not capped at %d", got, ladderMaxStart)
 	}

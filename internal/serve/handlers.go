@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"rlibm/pkg/rlibm"
+)
+
+// jsonBytesPerElem bounds how many request-body bytes one JSON element may
+// reasonably take (sign, 17 significant digits, exponent, separator); the
+// JSON body limit is MaxBatch elements at this size plus framing slack.
+const jsonBytesPerElem = 32
+
+// bufPool recycles the request/response element buffers so steady-state
+// serving does not grow the heap with request size.
+var bufPool = sync.Pool{New: func() any { return new([]float32) }}
+
+func getBuf(n int) *[]float32 {
+	p := bufPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBuf(p *[]float32) { bufPool.Put(p) }
+
+// route resolves the {func}/{scheme} path segments, replying 404 on unknown
+// names (the URL space is the API surface; a bad segment is a missing
+// resource, not a bad request).
+func (s *Server) route(w http.ResponseWriter, r *http.Request) (rlibm.Func, rlibm.Scheme, bool) {
+	f, err := rlibm.ParseFunc(r.PathValue("func"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "unknown function %q", r.PathValue("func"))
+		return 0, 0, false
+	}
+	sch, err := rlibm.ParseScheme(r.PathValue("scheme"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "unknown scheme %q", r.PathValue("scheme"))
+		return 0, 0, false
+	}
+	return f, sch, true
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// f32 carries a float32 across JSON in both directions: a
+// shortest-round-trip number when finite, and the strings "NaN", "Inf" and
+// "-Inf" for the non-finite values JSON cannot express. The same spellings
+// are accepted on input, so a response array round-trips as a request.
+type f32 float32
+
+func (v f32) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	switch {
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(f, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, f, 'g', -1, 32), nil
+}
+
+func (v *f32) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"NaN"`:
+		*v = f32(math.NaN())
+		return nil
+	case `"Inf"`, `"+Inf"`:
+		*v = f32(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*v = f32(math.Inf(-1))
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	*v = f32(f)
+	return nil
+}
+
+type evalRequest struct {
+	X []f32 `json:"x"`
+}
+
+type evalResponse struct {
+	Y []f32 `json:"y"`
+}
+
+// handleEvalJSON: POST /v1/eval/{func}/{scheme} with body {"x":[...]}.
+// Replies {"y":[...]} where y[i] is the correctly rounded float32 result at
+// float32(x[i]). Malformed JSON is 400; more than MaxBatch elements (or a
+// body too large to hold that many) is 413.
+func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
+	f, sch, ok := s.route(w, r)
+	if !ok {
+		return
+	}
+	if s.onEval != nil {
+		s.onEval()
+	}
+	limit := int64(s.cfg.MaxBatch)*jsonBytesPerElem + 4096
+	var req evalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+	if len(req.X) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.X), s.cfg.MaxBatch)
+		return
+	}
+	src := getBuf(len(req.X))
+	dst := getBuf(len(req.X))
+	defer putBuf(src)
+	defer putBuf(dst)
+	for i, x := range req.X {
+		(*src)[i] = float32(x)
+	}
+	rlibm.EvalBatch(f, sch, *dst, *src)
+	s.batchElems.Observe(int64(len(req.X)))
+
+	resp := evalResponse{Y: make([]f32, len(req.X))}
+	for i, y := range *dst {
+		resp.Y[i] = f32(y)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.cfg.Log.Debugf("serve: json response write: %v", err)
+	}
+}
+
+// handleEvalBin: POST /v1/evalbin/{func}/{scheme} with a raw little-endian
+// float32 frame as the body; the response is the result frame in the same
+// encoding. A body whose length is not a multiple of 4 is 400; more than
+// MaxBatch elements is 413. This endpoint carries every bit pattern,
+// specials included.
+func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
+	f, sch, ok := s.route(w, r)
+	if !ok {
+		return
+	}
+	if s.onEval != nil {
+		s.onEval()
+	}
+	limit := int64(s.cfg.MaxBatch) * 4
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d elements", s.cfg.MaxBatch)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	if len(body)%4 != 0 {
+		httpError(w, http.StatusBadRequest, "body length %d is not a multiple of 4", len(body))
+		return
+	}
+	n := len(body) / 4
+	src := getBuf(n)
+	dst := getBuf(n)
+	defer putBuf(src)
+	defer putBuf(dst)
+	for i := 0; i < n; i++ {
+		(*src)[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	rlibm.EvalBatch(f, sch, *dst, *src)
+	s.batchElems.Observe(int64(n))
+
+	out := make([]byte, 4*n)
+	for i, y := range *dst {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(y))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	if _, err := w.Write(out); err != nil {
+		s.cfg.Log.Debugf("serve: binary response write: %v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleMetricz exposes the obs registry snapshot; the serve.* counters and
+// histograms land here.
+func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.cfg.Registry.Snapshot()); err != nil {
+		s.cfg.Log.Debugf("serve: metricz write: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package serve implements the rlibm evaluation HTTP service: batched
+// correctly rounded elementary functions over pkg/rlibm, with JSON and
+// compact binary endpoints, per-function/per-scheme routing, request size
+// limits, read/write timeouts, graceful connection draining, and
+// observability through internal/obs (request/error counters, latency and
+// batch-size histograms, optional trace spans, optional pprof).
+//
+// The package is a library so the server can run in-process: cmd/rlibm-serve
+// wires it to a listener and signals, the end-to-end tests drive it through
+// httptest, and rlibm-bench's -serve-bench mode load-tests it over a
+// loopback listener.
+//
+// Endpoints:
+//
+//	POST /v1/eval/{func}/{scheme}     JSON  {"x":[...]} -> {"y":[...]}
+//	POST /v1/evalbin/{func}/{scheme}  raw little-endian float32 frame in/out
+//	GET  /healthz                     liveness probe
+//	GET  /metricz                     obs registry snapshot as JSON
+//	GET  /debug/pprof/...             when Config.EnablePprof is set
+//
+// {func} is one of exp, exp2, exp10, log, log2, log10; {scheme} is a
+// canonical ("rlibm-estrin-fma") or short ("estrin-fma") scheme name.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"rlibm/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// Addr is the listen address for ListenAndServe ("" means ":8090").
+	Addr string
+	// MaxBatch caps the number of elements in one request (0 means 1<<20).
+	// JSON and binary requests beyond it are rejected with 413.
+	MaxBatch int
+	// ReadTimeout / WriteTimeout bound each request's transfer phases
+	// (0 means 10s / 30s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to complete after the serve context is cancelled (0 means 10s).
+	DrainTimeout time.Duration
+	// Log receives lifecycle and per-request debug lines (nil means quiet).
+	Log *obs.Logger
+	// Registry receives the serve.* metrics (nil means obs.Default()).
+	Registry *obs.Registry
+	// Tracer, when non-nil, gets one span per eval request.
+	Tracer *obs.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8090"
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1 << 20
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	if c.Log == nil {
+		c.Log = obs.NewLogger(nil, obs.LevelQuiet)
+	}
+	return c
+}
+
+// Server is the rlibm evaluation service. Create with New; serve with
+// ListenAndServe or Serve, or embed Handler in a test server.
+type Server struct {
+	cfg        Config
+	mux        *http.ServeMux
+	batchElems *obs.Histogram
+
+	// onEval, when non-nil, runs at the start of every eval request; the
+	// drain tests use it to hold requests in flight across a shutdown.
+	onEval func()
+}
+
+// New builds a Server from cfg (zero value fine; see Config).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		batchElems: cfg.Registry.Histogram("serve.batch_elems"),
+	}
+	wrap := func(name string, h http.HandlerFunc) http.Handler {
+		return obs.HTTPHandler(cfg.Registry, cfg.Tracer, name, h)
+	}
+	s.mux.Handle("POST /v1/eval/{func}/{scheme}", wrap("serve.eval_json", s.handleEvalJSON))
+	s.mux.Handle("POST /v1/evalbin/{func}/{scheme}", wrap("serve.eval_bin", s.handleEvalBin))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the root handler with all routes and middleware installed.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get up to
+// DrainTimeout to complete, and Serve returns once they have (nil) or the
+// budget expires (the shutdown error).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  s.cfg.ReadTimeout,
+		WriteTimeout: s.cfg.WriteTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.cfg.Log.Infof("serve: listening on %s", ln.Addr())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Log.Infof("serve: draining (up to %v)", s.cfg.DrainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	<-errc // always http.ErrServerClosed once Shutdown is in flight
+	if err != nil {
+		return err
+	}
+	s.cfg.Log.Infof("serve: drained")
+	return nil
+}
+
+// ListenAndServe binds cfg.Addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}

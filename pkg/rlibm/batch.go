@@ -1,0 +1,129 @@
+package rlibm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch evaluation. The batch kernel for (f, s) is resolved once per call
+// and runs the generated block backend (libm.GeneratedBatchFuncs): the
+// polynomial body is inlined into a loop over on-stack float64 blocks, so
+// there is no per-element call or dispatch and the float32 widening sits in
+// its own short loop off the kernel's floating-point dependency chain —
+// measurably faster per element than per-call scalar dispatch. Slices at or
+// above fanOutThreshold are additionally split into fixed-size chunks
+// evaluated by a goroutine per chunk group. Below the threshold a batch
+// call performs zero heap allocations; above it the only allocations are
+// the goroutine spawns, amortized over tens of thousands of elements.
+// Outputs are bit-identical to per-element scalar calls for every slice
+// length and worker count — each element is computed by exactly the same
+// operation sequence, and float32 results carry no evaluation-order state.
+
+const (
+	// fanOutThreshold is the slice length at which a batch call starts
+	// fanning out across goroutines. Below it the scheduling cost would
+	// rival the evaluation itself: a kernel call is ~10-20ns, so a 32Ki
+	// batch is ~0.5ms of work — comfortably above goroutine-spawn noise.
+	fanOutThreshold = 1 << 15
+	// fanOutChunk is the unit of work handed to each goroutine. Chunks are
+	// assigned statically (worker w takes chunks w, w+n, w+2n, ...), which
+	// keeps the fan-out allocation-free apart from the spawns themselves.
+	fanOutChunk = 1 << 13
+)
+
+// maxBatchWorkers caps the goroutines a single batch call fans out to.
+// 0 means runtime.GOMAXPROCS(0).
+var maxBatchWorkers atomic.Int32
+
+// SetMaxBatchWorkers caps the number of goroutines one batch call may fan
+// out across; n <= 0 restores the default (GOMAXPROCS). It returns the
+// previous setting. The cap is process-wide: the serving layer sets it from
+// its -j flag so request handling and batch fan-out share one budget.
+func SetMaxBatchWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxBatchWorkers.Swap(int32(n)))
+}
+
+func batchWorkers() int {
+	if n := int(maxBatchWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EvalBatch evaluates function f under scheme s at every element of src,
+// writing result i to dst[i]. It panics if f or s is out of range or if dst
+// is shorter than src (extra dst capacity is left untouched). Results are
+// bit-identical to calling Eval(f, s, x) per element.
+func EvalBatch(f Func, s Scheme, dst, src []float32) {
+	if !f.valid() {
+		panic("rlibm: invalid Func")
+	}
+	if !s.valid() {
+		panic("rlibm: invalid Scheme")
+	}
+	if len(dst) < len(src) {
+		panic("rlibm: EvalBatch dst shorter than src")
+	}
+	evalBatch(batchKernels[f][s], dst[:len(src)], src)
+}
+
+// evalBatch runs batch kernel k over src into dst (equal lengths), fanning
+// out for large slices. The fan-out lives in its own function so the closure
+// it spawns cannot force heap allocations onto the inline path (captured
+// variables escape at function granularity, not branch granularity).
+func evalBatch(k func(dst, src []float32), dst, src []float32) {
+	workers := batchWorkers()
+	if len(src) < fanOutThreshold || workers < 2 {
+		k(dst, src)
+		return
+	}
+	fanOut(k, dst, src, workers)
+}
+
+// fanOut splits src into fanOutChunk-sized chunks assigned statically to
+// workers goroutines.
+func fanOut(k func(dst, src []float32), dst, src []float32, workers int) {
+	chunks := (len(src) + fanOutChunk - 1) / fanOutChunk
+	if workers > chunks {
+		workers = chunks
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < chunks; c += workers {
+				lo := c * fanOutChunk
+				hi := lo + fanOutChunk
+				if hi > len(src) {
+					hi = len(src)
+				}
+				k(dst[lo:hi], src[lo:hi])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ExpBatch evaluates e^x over src into dst (Estrin+FMA variant). dst must be
+// at least as long as src; results are bit-identical to Exp per element.
+func ExpBatch(dst, src []float32) { EvalBatch(FuncExp, EstrinFMA, dst, src) }
+
+// Exp2Batch evaluates 2^x over src into dst (Estrin+FMA variant).
+func Exp2Batch(dst, src []float32) { EvalBatch(FuncExp2, EstrinFMA, dst, src) }
+
+// Exp10Batch evaluates 10^x over src into dst (Estrin+FMA variant).
+func Exp10Batch(dst, src []float32) { EvalBatch(FuncExp10, EstrinFMA, dst, src) }
+
+// LogBatch evaluates ln x over src into dst (Estrin+FMA variant).
+func LogBatch(dst, src []float32) { EvalBatch(FuncLog, EstrinFMA, dst, src) }
+
+// Log2Batch evaluates log2 x over src into dst (Estrin+FMA variant).
+func Log2Batch(dst, src []float32) { EvalBatch(FuncLog2, EstrinFMA, dst, src) }
+
+// Log10Batch evaluates log10 x over src into dst (Estrin+FMA variant).
+func Log10Batch(dst, src []float32) { EvalBatch(FuncLog10, EstrinFMA, dst, src) }

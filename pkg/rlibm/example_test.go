@@ -1,0 +1,53 @@
+package rlibm_test
+
+import (
+	"fmt"
+
+	"rlibm/pkg/rlibm"
+)
+
+// The scalar functions return correctly rounded float32 results.
+func ExampleExp2() {
+	fmt.Println(rlibm.Exp2(0.5))
+	fmt.Println(rlibm.Exp2(-1))
+	// Output:
+	// 1.4142135
+	// 0.5
+}
+
+// Batch evaluation writes results element-wise into dst; outputs are
+// bit-identical to the scalar calls.
+func ExampleExp2Batch() {
+	src := []float32{0, 1, 2, 10}
+	dst := make([]float32, len(src))
+	rlibm.Exp2Batch(dst, src)
+	fmt.Println(dst)
+	// Output:
+	// [1 2 4 1024]
+}
+
+// EvalBatch selects function and scheme dynamically — the serving layer's
+// entry point. Reuse dst across calls to keep the hot path allocation-free.
+func ExampleEvalBatch() {
+	f, _ := rlibm.ParseFunc("log2")
+	s, _ := rlibm.ParseScheme("rlibm-estrin-fma")
+	src := []float32{1, 2, 8, 1024}
+	dst := make([]float32, len(src))
+	rlibm.EvalBatch(f, s, dst, src)
+	fmt.Println(dst)
+	// Output:
+	// [0 1 3 10]
+}
+
+// Every generated variant of a function agrees on the correctly rounded
+// result; the schemes differ only in evaluation speed.
+func ExampleEval() {
+	for _, s := range rlibm.Schemes {
+		fmt.Println(s, rlibm.Eval(rlibm.FuncLog, s, 2.718281828459045))
+	}
+	// Output:
+	// rlibm 0.99999994
+	// rlibm-knuth 0.99999994
+	// rlibm-estrin 0.99999994
+	// rlibm-estrin-fma 0.99999994
+}

@@ -1,0 +1,186 @@
+// Package rlibm is the public face of the repository's generated math
+// library: the six correctly rounded elementary functions of the CGO 2023
+// paper (e^x, 2^x, 10^x, ln x, log2 x, log10 x), each available in the four
+// polynomial-evaluation variants the paper compares (Horner, Knuth-adapted,
+// Estrin, Estrin+FMA), plus batch kernels that evaluate whole slices with
+// the per-call dispatch overhead paid once.
+//
+// Every result is the correctly rounded float32 under round-to-nearest-even;
+// the same double-precision polynomials also yield correctly rounded results
+// for every format from 10 to 32 bits (8-bit exponent) under all five IEEE
+// rounding modes — see internal/libm for the raw-double entry points and
+// internal/fp for the rounding machinery.
+//
+// The scalar functions (Exp, Log2, ...) are one-call conveniences. The batch
+// functions (ExpBatch, Log2Batch, EvalBatch, ...) are the serving-layer hot
+// path: they resolve the function/scheme kernel once, run a tight loop with
+// zero heap allocations, and fan out across goroutines for large slices.
+// Batch results are bit-identical to the corresponding scalar calls for
+// every input, every scheme and every slice length.
+package rlibm
+
+import (
+	"fmt"
+
+	"rlibm/internal/libm"
+)
+
+// Scheme selects one of the four generated polynomial-evaluation variants.
+type Scheme int
+
+const (
+	// Horner is the RLibm baseline: a serial multiply-add chain.
+	Horner Scheme = iota
+	// Knuth uses Knuth's coefficient adaptation.
+	Knuth
+	// Estrin uses Estrin's parallel evaluation.
+	Estrin
+	// EstrinFMA combines Estrin's evaluation with fused multiply-adds — the
+	// paper's fastest configuration and this package's default.
+	EstrinFMA
+
+	// NumSchemes is the number of variants.
+	NumSchemes = 4
+)
+
+// Schemes lists the four variants in the paper's order.
+var Schemes = [NumSchemes]Scheme{Horner, Knuth, Estrin, EstrinFMA}
+
+// String returns the variant's canonical name ("rlibm", "rlibm-knuth",
+// "rlibm-estrin", "rlibm-estrin-fma"), matching the names the CLIs and the
+// rlibm-serve URL space use.
+func (s Scheme) String() string {
+	if s.valid() {
+		return libm.Scheme(s).String()
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+func (s Scheme) valid() bool { return s >= Horner && s <= EstrinFMA }
+
+// ParseScheme resolves a scheme name. It accepts the canonical names
+// ("rlibm", "rlibm-knuth", "rlibm-estrin", "rlibm-estrin-fma") and the
+// short generator spellings ("horner", "knuth", "estrin", "estrin-fma").
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "rlibm", "horner":
+		return Horner, nil
+	case "rlibm-knuth", "knuth":
+		return Knuth, nil
+	case "rlibm-estrin", "estrin":
+		return Estrin, nil
+	case "rlibm-estrin-fma", "estrin-fma":
+		return EstrinFMA, nil
+	}
+	return 0, fmt.Errorf("rlibm: unknown scheme %q", name)
+}
+
+// Func identifies one of the six elementary functions.
+type Func int
+
+const (
+	FuncExp Func = iota
+	FuncExp2
+	FuncExp10
+	FuncLog
+	FuncLog2
+	FuncLog10
+
+	// NumFuncs is the number of functions.
+	NumFuncs = 6
+)
+
+// Funcs lists the six functions in the paper's order.
+var Funcs = [NumFuncs]Func{FuncExp, FuncExp2, FuncExp10, FuncLog, FuncLog2, FuncLog10}
+
+var funcNames = [NumFuncs]string{"exp", "exp2", "exp10", "log", "log2", "log10"}
+
+// String returns the function's name ("exp", "log2", ...).
+func (f Func) String() string {
+	if f.valid() {
+		return funcNames[f]
+	}
+	return fmt.Sprintf("Func(%d)", int(f))
+}
+
+func (f Func) valid() bool { return f >= FuncExp && f < NumFuncs }
+
+// ParseFunc resolves a function name ("exp", "exp2", "exp10", "log", "log2",
+// "log10").
+func ParseFunc(name string) (Func, error) {
+	for i, n := range funcNames {
+		if n == name {
+			return Func(i), nil
+		}
+	}
+	return 0, fmt.Errorf("rlibm: unknown function %q", name)
+}
+
+// kernels indexes the straight-line generated backend by (function, scheme).
+// Resolving a kernel once and looping over it is the batch fast path; the
+// scalar entry points go through the same kernels so batch and scalar
+// results are bit-identical by construction.
+var kernels [NumFuncs][NumSchemes]func(float64) float64
+
+// batchKernels indexes the generated batch backend the same way: blocked
+// in-place kernels with the polynomial body inlined into the loop, the form
+// EvalBatch dispatches to.
+var batchKernels [NumFuncs][NumSchemes]func(dst, src []float32)
+
+func init() {
+	for fi, f := range Funcs {
+		for si, s := range Schemes {
+			key := f.String() + "/" + s.String()
+			k := libm.GeneratedFuncs[key]
+			bk := libm.GeneratedBatchFuncs[key]
+			if k == nil || bk == nil {
+				panic("rlibm: missing generated kernel " + key)
+			}
+			kernels[fi][si] = k
+			batchKernels[fi][si] = bk
+		}
+	}
+}
+
+// Kernel returns the raw double-precision kernel of (f, s): it maps a
+// float64-widened float32 input to a double lying in the 34-bit round-to-odd
+// rounding interval of the exact result. Harness code (benchmarks, the
+// serving layer's verification) uses it to reproduce batch outputs exactly:
+// float32(Kernel(f, s)(float64(x))) == Eval(f, s, x) bit for bit.
+func Kernel(f Func, s Scheme) func(float64) float64 {
+	if !f.valid() || !s.valid() {
+		return nil
+	}
+	return kernels[f][s]
+}
+
+// Eval returns the correctly rounded float32 result of function f at x using
+// scheme s. It panics if f or s is out of range; use ParseFunc/ParseScheme
+// to validate external input first.
+func Eval(f Func, s Scheme, x float32) float32 {
+	if !f.valid() {
+		panic("rlibm: invalid Func")
+	}
+	if !s.valid() {
+		panic("rlibm: invalid Scheme")
+	}
+	return float32(kernels[f][s](float64(x)))
+}
+
+// Exp returns the correctly rounded e^x (Estrin+FMA variant).
+func Exp(x float32) float32 { return float32(kernels[FuncExp][EstrinFMA](float64(x))) }
+
+// Exp2 returns the correctly rounded 2^x (Estrin+FMA variant).
+func Exp2(x float32) float32 { return float32(kernels[FuncExp2][EstrinFMA](float64(x))) }
+
+// Exp10 returns the correctly rounded 10^x (Estrin+FMA variant).
+func Exp10(x float32) float32 { return float32(kernels[FuncExp10][EstrinFMA](float64(x))) }
+
+// Log returns the correctly rounded natural logarithm (Estrin+FMA variant).
+func Log(x float32) float32 { return float32(kernels[FuncLog][EstrinFMA](float64(x))) }
+
+// Log2 returns the correctly rounded base-2 logarithm (Estrin+FMA variant).
+func Log2(x float32) float32 { return float32(kernels[FuncLog2][EstrinFMA](float64(x))) }
+
+// Log10 returns the correctly rounded base-10 logarithm (Estrin+FMA variant).
+func Log10(x float32) float32 { return float32(kernels[FuncLog10][EstrinFMA](float64(x))) }
