@@ -145,6 +145,9 @@ func main() {
 		serveCl  = flag.Int("serve-clients", 4, "concurrent clients for -serve-bench")
 		serveReq = flag.Int("serve-requests", 120, "requests per client for -serve-bench")
 		serveBat = flag.Int("serve-batch", 4096, "elements per request for -serve-bench")
+		smallReq = flag.Int("serve-small-requests", 400, "small requests per client for the many-small-requests workload (0 skips it)")
+		smallEl  = flag.Int("serve-small-elems", 64, "elements per small request")
+		replicas = flag.Int("serve-replicas", 2, "in-process server replicas for the round-robin fleet mode (<2 skips it)")
 		outPath  = flag.String("out", "", "write a machine-readable JSON benchmark report to this file (\"auto\" = BENCH_<timestamp>.json)")
 		opts     = cliflags.Register(flag.CommandLine)
 	)
@@ -179,7 +182,7 @@ func main() {
 		return
 	}
 	if *serveB {
-		rep.Serve = benchServe(*serveCl, *serveReq, *serveBat, *rounds, *seed)
+		rep.Serve = benchServe(*serveCl, *serveReq, *serveBat, *rounds, *smallReq, *smallEl, *replicas, *seed)
 		if *outPath != "" {
 			writeReport(*outPath, rep)
 		}

@@ -47,13 +47,55 @@ type serveBenchReport struct {
 	ScalarNsPerElem float64 `json:"scalar_ns_per_elem"`
 	BatchNsPerElem  float64 `json:"batch_ns_per_elem"`
 	BatchSpeedupPct float64 `json:"batch_speedup_pct"`
+
+	// Small is the many-small-requests workload: the fleet traffic shape
+	// the coalescer and streaming protocol exist for.
+	Small *smallReqReport `json:"small_requests,omitempty"`
+	// Replicas is the multi-replica round-robin mode.
+	Replicas *replicaBenchReport `json:"replicas,omitempty"`
+}
+
+// smallReqReport compares the two transports under many small requests: the
+// HTTP-per-request baseline (one POST per batch, keep-alive on) against the
+// coalesced streaming path (persistent connections, requests multiplexed by
+// id, server-side cross-request coalescing into shared sweeps). SpeedupX is
+// the aggregate-throughput ratio — the number the serving tentpole is judged
+// on — and both paths are verified bit-for-bit against direct kernel calls.
+type smallReqReport struct {
+	Clients     int   `json:"clients"`
+	ReqPerCli   int   `json:"requests_per_client"`
+	ElemsPerReq int   `json:"elems_per_request"`
+	Mismatches  int64 `json:"mismatches"`
+
+	HTTPDurationMs    float64 `json:"http_duration_ms"`
+	HTTPReqPerSec     float64 `json:"http_req_per_sec"`
+	HTTPMelemPerSec   float64 `json:"http_melem_per_sec"`
+	StreamDurationMs  float64 `json:"stream_duration_ms"`
+	StreamReqPerSec   float64 `json:"stream_req_per_sec"`
+	StreamMelemPerSec float64 `json:"stream_melem_per_sec"`
+	SpeedupX          float64 `json:"speedup_x"`
+}
+
+// replicaBenchReport is the round-robin fleet mode: N in-process server
+// replicas (own registries, own listeners), clients spread across them, one
+// aggregate Melem/s across the fleet.
+type replicaBenchReport struct {
+	Replicas    int   `json:"replicas"`
+	Clients     int   `json:"clients"`
+	ReqPerCli   int   `json:"requests_per_client"`
+	ElemsPerReq int   `json:"elems_per_request"`
+	Mismatches  int64 `json:"mismatches"`
+
+	DurationMs     float64 `json:"duration_ms"`
+	AggReqPerSec   float64 `json:"agg_req_per_sec"`
+	AggMelemPerSec float64 `json:"agg_melem_per_sec"`
 }
 
 // benchServe spins up the serving stack in-process on a loopback listener,
 // drives clients concurrent HTTP clients round-robin over all func x scheme
 // combinations on the binary endpoint, and verifies every response element
 // bit-for-bit against a direct kernel call.
-func benchServe(clients, reqsPerClient, batchElems, rounds int, seed int64) *serveBenchReport {
+func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElems, replicas int, seed int64) *serveBenchReport {
 	fmt.Printf("rlibm-bench -serve-bench: %d clients x %d requests, %d elems/request, seed %d\n",
 		clients, reqsPerClient, batchElems, seed)
 
@@ -179,6 +221,13 @@ func benchServe(clients, reqsPerClient, batchElems, rounds int, seed int64) *ser
 		os.Exit(1)
 	}
 	fmt.Println("  all responses bit-identical to direct kernel calls: ok")
+
+	if smallReqs > 0 {
+		rep.Small = benchSmallRequests(clients, smallReqs, smallElems, seed)
+	}
+	if replicas > 1 && smallReqs > 0 {
+		rep.Replicas = benchReplicas(replicas, clients*replicas, smallReqs, smallElems, seed)
+	}
 	return rep
 }
 
@@ -217,6 +266,286 @@ func benchDispatch(n, rounds int, seed int64) (scalarNs, batchNs float64) {
 		fmt.Fprint(os.Stderr, "")
 	}
 	return scalarNs / float64(len(rlibm.Funcs)), batchNs / float64(len(rlibm.Funcs))
+}
+
+// benchCombos is the round-robin order of all 24 func x scheme pairs.
+func benchCombos() (out []struct {
+	f rlibm.Func
+	s rlibm.Scheme
+}) {
+	for _, f := range rlibm.Funcs {
+		for _, s := range rlibm.Schemes {
+			out = append(out, struct {
+				f rlibm.Func
+				s rlibm.Scheme
+			}{f, s})
+		}
+	}
+	return out
+}
+
+// smallBenchConfig is the server shape for the small-request workloads:
+// coalescing on with a short flush window, and queues generous enough that
+// the bench measures throughput, not shedding policy (overload behaviour has
+// its own tests in internal/serve).
+func smallBenchConfig(elemsPerReq int) serve.Config {
+	return serve.Config{
+		MaxBatch:           1 << 20,
+		CoalesceMaxRequest: elemsPerReq,
+		CoalesceFlushElems: 1 << 13,
+		CoalesceMaxDelay:   200 * time.Microsecond,
+		MaxPendingElems:    1 << 20,
+		Registry:           obs.NewRegistry(),
+		Log:                obs.NewLogger(io.Discard, obs.LevelQuiet),
+	}
+}
+
+// benchSmallRequests drives the many-small-requests workload over both
+// transports against one server and reports the aggregate-throughput ratio.
+// Fleet traffic is many outstanding requests at once, so the client count is
+// deliberately high (8x the big-batch bench): coalescing only amortizes
+// per-sweep cost when flush windows actually gather multiple requests.
+func benchSmallRequests(clients, reqsPerClient, elemsPerReq int, seed int64) *smallReqReport {
+	clients *= 8
+	fmt.Printf("  small requests: %d clients x %d requests, %d elems/request\n",
+		clients, reqsPerClient, elemsPerReq)
+
+	srv := serve.New(smallBenchConfig(elemsPerReq))
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	streamLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 2)
+	go func() { serveErr <- srv.Serve(ctx, httpLn) }()
+	go func() { serveErr <- srv.ServeStream(ctx, streamLn) }()
+	defer func() {
+		cancel()
+		for i := 0; i < 2; i++ {
+			if err := <-serveErr; err != nil {
+				fatal(err)
+			}
+		}
+	}()
+
+	base := "http://" + httpLn.Addr().String()
+	combos := benchCombos()
+
+	// Workers record every response; verification runs after the clock stops
+	// so both transports are timed on transport alone. Inputs regenerate from
+	// the same seeded rng during the verify pass.
+	results := make([][]float32, clients)
+	for c := range results {
+		results[c] = make([]float32, reqsPerClient*elemsPerReq)
+	}
+	run := func(worker func(c int, rng *rand.Rand, out []float32)) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				worker(c, rand.New(rand.NewSource(seed+int64(c))), results[c])
+			}(c)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	var mismatches atomic.Int64
+	verifyAll := func() {
+		src := make([]float32, elemsPerReq)
+		for c := 0; c < clients; c++ {
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for r := 0; r < reqsPerClient; r++ {
+				cb := combos[(c+r)%len(combos)]
+				fillSweep32(src, cb.f, rng)
+				k := rlibm.Kernel(cb.f, cb.s)
+				got := results[c][r*elemsPerReq : (r+1)*elemsPerReq]
+				for i, x := range src {
+					if math.Float32bits(got[i]) != math.Float32bits(float32(k(float64(x)))) {
+						mismatches.Add(1)
+					}
+				}
+			}
+		}
+	}
+
+	// HTTP-per-request baseline: one POST on the binary endpoint per small
+	// batch. One shared pooled transport: without MaxIdleConnsPerHost >=
+	// clients the default pool (2) would make the baseline open fresh TCP
+	// conns under load — the comparison is against keep-alive HTTP done well.
+	httpClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}}
+	httpElapsed := run(func(c int, rng *rand.Rand, out []float32) {
+		src := make([]float32, elemsPerReq)
+		frame := make([]byte, 4*elemsPerReq)
+		for r := 0; r < reqsPerClient; r++ {
+			cb := combos[(c+r)%len(combos)]
+			fillSweep32(src, cb.f, rng)
+			for i, x := range src {
+				binary.LittleEndian.PutUint32(frame[4*i:], math.Float32bits(x))
+			}
+			url := fmt.Sprintf("%s/v1/evalbin/%v/%v", base, cb.f, cb.s)
+			resp, err := httpClient.Post(url, "application/octet-stream", bytes.NewReader(frame))
+			if err != nil {
+				fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				fatal(fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, body))
+			}
+			got := out[r*elemsPerReq : (r+1)*elemsPerReq]
+			for i := range got {
+				got[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+			}
+		}
+	})
+	verifyAll()
+
+	// Coalesced streaming: persistent connections shared by several request
+	// goroutines (the fleet shape — many requesters per conn), frames
+	// multiplexed by id, the server coalescing across all of them, and both
+	// directions batching wire writes while traffic is in flight.
+	const goroutinesPerConn = 8
+	scs := make([]*serve.StreamClient, (clients+goroutinesPerConn-1)/goroutinesPerConn)
+	for i := range scs {
+		sc, err := serve.DialStream(streamLn.Addr().String())
+		if err != nil {
+			fatal(err)
+		}
+		scs[i] = sc
+		defer sc.Close()
+	}
+	streamElapsed := run(func(c int, rng *rand.Rand, out []float32) {
+		sc := scs[c/goroutinesPerConn]
+		src := make([]float32, elemsPerReq)
+		for r := 0; r < reqsPerClient; r++ {
+			cb := combos[(c+r)%len(combos)]
+			fillSweep32(src, cb.f, rng)
+			if err := sc.Eval(cb.f, cb.s, out[r*elemsPerReq:(r+1)*elemsPerReq], src); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	verifyAll()
+
+	requests := clients * reqsPerClient
+	elems := float64(requests) * float64(elemsPerReq)
+	rep := &smallReqReport{
+		Clients:           clients,
+		ReqPerCli:         reqsPerClient,
+		ElemsPerReq:       elemsPerReq,
+		Mismatches:        mismatches.Load(),
+		HTTPDurationMs:    httpElapsed.Seconds() * 1e3,
+		HTTPReqPerSec:     float64(requests) / httpElapsed.Seconds(),
+		HTTPMelemPerSec:   elems / httpElapsed.Seconds() / 1e6,
+		StreamDurationMs:  streamElapsed.Seconds() * 1e3,
+		StreamReqPerSec:   float64(requests) / streamElapsed.Seconds(),
+		StreamMelemPerSec: elems / streamElapsed.Seconds() / 1e6,
+	}
+	rep.SpeedupX = rep.StreamMelemPerSec / rep.HTTPMelemPerSec
+	fmt.Printf("    http-per-request: %8.0f req/s  %6.2f Melem/s\n", rep.HTTPReqPerSec, rep.HTTPMelemPerSec)
+	fmt.Printf("    coalesced stream: %8.0f req/s  %6.2f Melem/s  (%.2fx)\n",
+		rep.StreamReqPerSec, rep.StreamMelemPerSec, rep.SpeedupX)
+	if rep.Mismatches != 0 {
+		fmt.Fprintf(os.Stderr, "rlibm-bench: %d small-request responses not bit-identical\n", rep.Mismatches)
+		os.Exit(1)
+	}
+	fmt.Println("    all small-request responses bit-identical: ok")
+	return rep
+}
+
+// benchReplicas runs the round-robin fleet mode: replicas in-process servers
+// with their own registries and stream listeners, clients spread across them
+// round-robin, throughput aggregated across the fleet.
+func benchReplicas(replicas, clients, reqsPerClient, elemsPerReq int, seed int64) *replicaBenchReport {
+	fmt.Printf("  replicas: %d servers, %d clients round-robin, %d x %d elems\n",
+		replicas, clients, reqsPerClient, elemsPerReq)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, replicas)
+	addrs := make([]string, replicas)
+	for i := 0; i < replicas; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		srv := serve.New(smallBenchConfig(elemsPerReq))
+		go func() { serveErr <- srv.ServeStream(ctx, ln) }()
+	}
+	defer func() {
+		cancel()
+		for i := 0; i < replicas; i++ {
+			if err := <-serveErr; err != nil {
+				fatal(err)
+			}
+		}
+	}()
+
+	combos := benchCombos()
+	var mismatches atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sc, err := serve.DialStream(addrs[c%len(addrs)])
+			if err != nil {
+				fatal(err)
+			}
+			defer sc.Close()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			src := make([]float32, elemsPerReq)
+			dst := make([]float32, elemsPerReq)
+			for r := 0; r < reqsPerClient; r++ {
+				cb := combos[(c+r)%len(combos)]
+				fillSweep32(src, cb.f, rng)
+				if err := sc.Eval(cb.f, cb.s, dst, src); err != nil {
+					fatal(err)
+				}
+				k := rlibm.Kernel(cb.f, cb.s)
+				for i, x := range src {
+					if math.Float32bits(dst[i]) != math.Float32bits(float32(k(float64(x)))) {
+						mismatches.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	requests := clients * reqsPerClient
+	rep := &replicaBenchReport{
+		Replicas:       replicas,
+		Clients:        clients,
+		ReqPerCli:      reqsPerClient,
+		ElemsPerReq:    elemsPerReq,
+		Mismatches:     mismatches.Load(),
+		DurationMs:     elapsed.Seconds() * 1e3,
+		AggReqPerSec:   float64(requests) / elapsed.Seconds(),
+		AggMelemPerSec: float64(requests) * float64(elemsPerReq) / elapsed.Seconds() / 1e6,
+	}
+	fmt.Printf("    aggregate: %8.0f req/s  %6.2f Melem/s across %d replicas\n",
+		rep.AggReqPerSec, rep.AggMelemPerSec, replicas)
+	if rep.Mismatches != 0 {
+		fmt.Fprintf(os.Stderr, "rlibm-bench: %d replica responses not bit-identical\n", rep.Mismatches)
+		os.Exit(1)
+	}
+	fmt.Println("    all replica responses bit-identical: ok")
+	return rep
 }
 
 // fillSweep32 draws float32 inputs from the function's polynomial-path

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.eval_json.latency_ns": "serve_eval_json_latency_ns",
+		"core/exp/rlibm/iterations":  "core_exp_rlibm_iterations",
+		"9lives":                     "_9lives",
+		"already_fine":               "already_fine",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheus: counters, gauges and histograms all appear with TYPE
+// lines, histogram buckets are cumulative, and the exposition is
+// deterministic across calls.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.shed_total").Add(3)
+	r.Gauge("serve.coalesce.queue_elems").Set(17)
+	h := r.Histogram("serve.batch_elems")
+	h.Observe(1) // bucket le=1
+	h.Observe(2) // bucket le=2
+	h.Observe(2)
+	h.Observe(1000) // bucket le=1024
+
+	var b1, b2 strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("exposition is not deterministic across calls")
+	}
+	out := b1.String()
+	for _, want := range []string{
+		"# TYPE serve_shed_total counter\nserve_shed_total 3\n",
+		"# TYPE serve_coalesce_queue_elems gauge\nserve_coalesce_queue_elems 17\n",
+		"# TYPE serve_batch_elems histogram\n",
+		`serve_batch_elems_bucket{le="1"} 1`,
+		`serve_batch_elems_bucket{le="2"} 3`, // cumulative: 1 + 2
+		`serve_batch_elems_bucket{le="1024"} 4`,
+		`serve_batch_elems_bucket{le="+Inf"} 4`,
+		"serve_batch_elems_sum 1005",
+		"serve_batch_elems_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge after +5 -2 = %d, want 3", got)
+	}
+}

@@ -101,6 +101,10 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores n.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
+// Add moves the gauge by delta (negative to decrement) — the shape
+// level-style gauges (queue depths, open connections) need.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
 // SetMax stores n if it exceeds the current value.
 func (g *Gauge) SetMax(n int64) {
 	for {

@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"rlibm/internal/obs"
+	"rlibm/pkg/rlibm"
+)
+
+// Adaptive cross-request batch coalescing (group commit). The generated
+// batch kernels amortize dispatch over a sweep, but fleet traffic arrives as
+// many small requests. Each (func, scheme) pair owns an accumulator: small
+// requests append their inputs to a shared queue and block until a flush
+// writes their results back. Flushing is adaptive rather than timer-driven —
+// when no flush is running, the arriving request starts one immediately (an
+// idle server adds no queueing latency at all); while a sweep is being
+// evaluated, new arrivals accumulate and the flusher takes them as its next
+// sweep the moment the current one finishes. Batch size therefore tracks the
+// arrival rate times the sweep service time: light load degenerates to
+// direct per-request evaluation, heavy load forms large sweeps with zero
+// configured delay. CoalesceFlushElems caps the elements taken per sweep so
+// one giant queue cannot starve late arrivals for a whole queue-length.
+//
+// Because every element is independent and each is computed by exactly the
+// same kernel operation sequence regardless of batch composition, coalescing
+// cannot change a single output bit.
+//
+// The queue is bounded (MaxPendingElems): an enqueue that would overflow it
+// is refused with errOverloaded instead of growing memory without bound —
+// the transport layers translate that into HTTP 429 + Retry-After or the
+// stream protocol's overloaded status. Shedding at the door keeps queueing
+// delay bounded at about one sweep, so the service degrades by refusing
+// excess load rather than by collapsing latency for everyone.
+
+// errOverloaded is the typed backpressure error: a bounded queue is full
+// and the request was shed rather than queued.
+var errOverloaded = errors.New("serve: overloaded, request shed")
+
+// coalescer accumulates small requests for one (func, scheme) pair.
+type coalescer struct {
+	f          rlibm.Func
+	sch        rlibm.Scheme
+	flushElems int
+	maxPending int
+
+	queueElems *obs.Gauge     // aggregate pending elements across combos
+	flushSize  *obs.Histogram // elements per flushed sweep
+	flushes    *obs.Counter
+	coalesced  *obs.Counter // requests served through a coalesced sweep
+	shed       *obs.Counter
+
+	// onFlush, when non-nil, runs at the start of every flush (before the
+	// sweep); the overload tests use it to hold the flusher busy so the
+	// bounded queue actually fills.
+	onFlush func()
+
+	mu       sync.Mutex
+	srcp     *[]float32 // pending inputs (pooled; nil when queue empty)
+	waiters  []coalesceWaiter
+	flushing bool // a flusher goroutine is active for this accumulator
+}
+
+// coalesceWaiter is one queued request: its slice [off, off+n) of the
+// pending batch, the caller-owned destination, and the completion signal.
+type coalesceWaiter struct {
+	off, n int
+	out    []float32
+	done   chan struct{}
+}
+
+func newCoalescer(f rlibm.Func, sch rlibm.Scheme, cfg Config, reg *obs.Registry) *coalescer {
+	return &coalescer{
+		f:          f,
+		sch:        sch,
+		flushElems: cfg.CoalesceFlushElems,
+		maxPending: cfg.MaxPendingElems,
+		queueElems: reg.Gauge("serve.coalesce.queue_elems"),
+		flushSize:  reg.Histogram("serve.coalesce.flush_elems"),
+		flushes:    reg.Counter("serve.coalesce.flushes"),
+		coalesced:  reg.Counter("serve.coalesce.requests"),
+		shed:       reg.Counter("serve.shed_total"),
+	}
+}
+
+// enqueue queues src for the next coalesced sweep and blocks until a flush
+// has written this request's results into dst. Returns errOverloaded
+// (without queuing) when the pending queue cannot absorb src. If no flusher
+// is active the calling goroutine becomes the flusher, so an uncontended
+// request evaluates immediately with no handoff.
+func (c *coalescer) enqueue(dst, src []float32) error {
+	n := len(src)
+	c.mu.Lock()
+	pending := 0
+	if c.srcp != nil {
+		pending = len(*c.srcp)
+	}
+	if pending+n > c.maxPending {
+		c.mu.Unlock()
+		c.shed.Inc()
+		return errOverloaded
+	}
+	if c.srcp == nil {
+		c.srcp = getBufEmpty(c.flushElems)
+	}
+	off := len(*c.srcp)
+	*c.srcp = append(*c.srcp, src...)
+	done := make(chan struct{})
+	c.waiters = append(c.waiters, coalesceWaiter{off: off, n: n, out: dst, done: done})
+	c.queueElems.Add(int64(n))
+	if !c.flushing {
+		// Become the flusher for one sweep (normally containing this very
+		// request): the uncontended case evaluates immediately, with no
+		// timer, handoff or context switch. If more requests queued while
+		// the sweep ran, a dedicated goroutine drains them — the enqueuer
+		// must not be conscripted past its own response.
+		c.flushing = true
+		c.mu.Unlock()
+		batch := c.takeOne()
+		if batch.srcp != nil {
+			c.run(batch)
+		}
+		c.mu.Lock()
+		if len(c.waiters) > 0 {
+			go c.flushLoop()
+		} else {
+			c.retireLocked()
+		}
+		c.mu.Unlock()
+	} else {
+		c.mu.Unlock()
+	}
+	<-done
+	return nil
+}
+
+// takeOne detaches the next sweep, or a zero batch if the queue is empty.
+func (c *coalescer) takeOne() coalesceBatch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) == 0 {
+		return coalesceBatch{}
+	}
+	return c.takeLocked()
+}
+
+// retireLocked marks the flusher idle and returns the (empty) accumulator
+// buffer to the pool. Caller holds c.mu.
+func (c *coalescer) retireLocked() {
+	c.flushing = false
+	if c.srcp != nil {
+		putBuf(c.srcp)
+		c.srcp = nil
+	}
+}
+
+// coalesceBatch is one flush unit detached from the accumulator.
+type coalesceBatch struct {
+	srcp    *[]float32
+	waiters []coalesceWaiter
+}
+
+// takeLocked detaches up to flushElems pending elements as one sweep (whole
+// requests only — a request is never split across sweeps) and compacts the
+// remainder. The caller must hold c.mu and run() the batch after unlocking.
+func (c *coalescer) takeLocked() coalesceBatch {
+	if len(*c.srcp) <= c.flushElems {
+		b := coalesceBatch{srcp: c.srcp, waiters: c.waiters}
+		c.srcp = nil
+		c.waiters = nil
+		return b
+	}
+	// Oversized queue: take leading whole requests up to the cap (always at
+	// least one), shift the rest down so their offsets stay valid.
+	cut := 0
+	elems := 0
+	for cut < len(c.waiters) {
+		w := c.waiters[cut]
+		if cut > 0 && elems+w.n > c.flushElems {
+			break
+		}
+		elems += w.n
+		cut++
+	}
+	b := coalesceBatch{srcp: getBufEmpty(elems), waiters: c.waiters[:cut:cut]}
+	*b.srcp = append(*b.srcp, (*c.srcp)[:elems]...)
+	rest := getBufEmpty(c.flushElems)
+	*rest = append(*rest, (*c.srcp)[elems:]...)
+	putBuf(c.srcp)
+	c.srcp = rest
+	remaining := c.waiters[cut:]
+	c.waiters = make([]coalesceWaiter, len(remaining))
+	for i, w := range remaining {
+		w.off -= elems
+		c.waiters[i] = w
+	}
+	return b
+}
+
+// flushLoop drains the accumulator sweep by sweep until it is empty, then
+// retires. New requests arriving while a sweep is being evaluated simply
+// queue; the loop takes them as its next batch — that is what grows sweeps
+// under load without any configured delay.
+func (c *coalescer) flushLoop() {
+	for {
+		c.mu.Lock()
+		if len(c.waiters) == 0 {
+			c.retireLocked()
+			c.mu.Unlock()
+			return
+		}
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.run(batch)
+	}
+}
+
+// run evaluates one detached batch in a single EvalBatch sweep, copies each
+// waiter's slice of the results into its own destination, and releases the
+// waiters. Buffers return to the pool once every result has been copied
+// out, so waiters never alias pooled memory after wake-up.
+func (c *coalescer) run(b coalesceBatch) {
+	if c.onFlush != nil {
+		c.onFlush()
+	}
+	src := *b.srcp
+	dstp := getBuf(len(src))
+	rlibm.EvalBatch(c.f, c.sch, *dstp, src)
+	c.flushes.Inc()
+	c.flushSize.Observe(int64(len(src)))
+	c.coalesced.Add(int64(len(b.waiters)))
+	c.queueElems.Add(-int64(len(src)))
+	for _, w := range b.waiters {
+		copy(w.out, (*dstp)[w.off:w.off+w.n])
+		close(w.done)
+	}
+	putBuf(dstp)
+	putBuf(b.srcp)
+}
+
+// eval is the single evaluation entry point behind every transport: small
+// requests coalesce into shared sweeps, large ones run directly under the
+// in-flight semaphore. The only error is errOverloaded (a shed).
+func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error {
+	if n := len(src); n > 0 && n <= s.cfg.CoalesceMaxRequest {
+		return s.coalescers[f][sch].enqueue(dst, src)
+	}
+	select {
+	case s.directSem <- struct{}{}:
+	default:
+		// Contended: wait up to CoalesceMaxDelay, then shed instead of
+		// queueing without bound.
+		t := time.NewTimer(s.cfg.CoalesceMaxDelay)
+		select {
+		case s.directSem <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			s.shedTotal.Inc()
+			return errOverloaded
+		}
+	}
+	defer func() { <-s.directSem }()
+	rlibm.EvalBatch(f, sch, dst, src)
+	return nil
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rlibm/internal/obs"
+	"rlibm/pkg/rlibm"
+)
+
+// TestCoalescedBitIdentical: many small concurrent requests flow through
+// the cross-request accumulator, and every response is still bit-identical
+// to a direct kernel call — coalescing changes scheduling, never results.
+// The metrics prove requests actually shared sweeps: a short hold inside
+// every flush guarantees arrivals pile up behind the running sweep the way
+// they do under real load.
+func TestCoalescedBitIdentical(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(Config{
+		Registry:           reg,
+		CoalesceMaxRequest: 4096,
+		CoalesceFlushElems: 1024,
+	})
+	srv.coalescers[rlibm.FuncExp][rlibm.EstrinFMA].onFlush = func() {
+		time.Sleep(200 * time.Microsecond)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	const clients = 16
+	const perClient = 8
+	var wg sync.WaitGroup
+	errc := make(chan string, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for r := 0; r < perClient; r++ {
+				src := make([]float32, 16+rng.Intn(48))
+				for i := range src {
+					src[i] = float32(rng.Float64()*160 - 80)
+				}
+				got, resp := binEval(t, ts.URL, "exp", "rlibm-estrin-fma", src)
+				if got == nil {
+					errc <- resp.Status
+					continue
+				}
+				for i, x := range src {
+					want := wantFor(t, "exp", "rlibm-estrin-fma", x)
+					if math.Float32bits(got[i]) != math.Float32bits(want) {
+						errc <- "bit mismatch"
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatalf("coalesced request failed: %s", e)
+	}
+	snap := reg.Snapshot()
+	reqs := snap.Counter("serve.coalesce.requests")
+	flushes := snap.Counter("serve.coalesce.flushes")
+	if reqs != clients*perClient {
+		t.Errorf("serve.coalesce.requests = %d, want %d (every request coalesced)", reqs, clients*perClient)
+	}
+	if flushes == 0 || flushes >= reqs {
+		t.Errorf("flushes = %d for %d requests: coalescing did not combine requests", flushes, reqs)
+	}
+	if g := snap.Gauge("serve.coalesce.queue_elems"); g != 0 {
+		t.Errorf("queue_elems gauge = %d after drain, want 0", g)
+	}
+}
+
+// TestCoalesceSweepCap: CoalesceFlushElems only caps how many elements one
+// sweep takes; requests beyond the cap land in the next sweep rather than
+// stalling, so concurrent traffic past the cap still completes promptly.
+func TestCoalesceSweepCap(t *testing.T) {
+	ts := newTestServer(t, Config{
+		CoalesceMaxRequest: 4096,
+		CoalesceFlushElems: 64, // two 48-elem requests cannot share one sweep
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			binEval(t, ts.URL, "log2", "rlibm", make([]float32, 48))
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("capped sweeps took %v; a request stalled behind the cap", elapsed)
+	}
+}
+
+// TestCoalesceLoneRequestImmediate: with no flush running, the arriving
+// request becomes the flusher and evaluates at once — an idle server adds no
+// queueing delay, regardless of how far away the sweep-size cap is.
+func TestCoalesceLoneRequestImmediate(t *testing.T) {
+	ts := newTestServer(t, Config{
+		CoalesceMaxRequest: 4096,
+		CoalesceFlushElems: 1 << 20,
+	})
+	start := time.Now()
+	got, resp := binEval(t, ts.URL, "exp2", "rlibm", []float32{1, 2, 3})
+	if got == nil {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("lone-request flush took %v, want immediate", elapsed)
+	}
+	for i, x := range []float32{1, 2, 3} {
+		want := wantFor(t, "exp2", "rlibm", x)
+		if math.Float32bits(got[i]) != math.Float32bits(want) {
+			t.Errorf("element %d: got %x, want %x", i, math.Float32bits(got[i]), math.Float32bits(want))
+		}
+	}
+}
+
+// TestOverloadShedsTyped429: when the bounded coalescer queue is full, the
+// server sheds with a typed 429 (Retry-After header + retry_after_ms body)
+// instead of queueing without bound — and recovers to serve again once the
+// queue drains.
+func TestOverloadShedsTyped429(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(Config{
+		Registry:           reg,
+		CoalesceMaxRequest: 8,
+		CoalesceMaxDelay:   300 * time.Millisecond,
+		MaxPendingElems:    16,
+	})
+	// Pin the flusher inside its first sweep so the bounded queue can fill
+	// behind it, the way a slow sweep under real load would.
+	entered := make(chan struct{}, 1)
+	hold := make(chan struct{})
+	srv.coalescers[rlibm.FuncExp][rlibm.Horner].onFlush = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-hold
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	post := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got, resp := binEval(t, ts.URL, "exp", "rlibm", make([]float32, 8)); got == nil {
+				t.Errorf("queued request failed: %d", resp.StatusCode)
+			}
+		}()
+	}
+	post() // becomes the flusher and blocks inside onFlush
+	<-entered
+	// Two more 8-element requests fill the 16-element queue behind the
+	// pinned sweep.
+	post()
+	post()
+	// The gauge counts the pinned in-flight sweep (8) plus the full queue (16).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if reg.Snapshot().Gauge("serve.coalesce.queue_elems") == 24 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: the next request must shed.
+	resp, err := http.Post(ts.URL+"/v1/evalbin/exp/rlibm", "application/octet-stream",
+		strings.NewReader(strings.Repeat("\x00", 4*8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		resp.Body.Close()
+		t.Fatalf("request against a full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response has no Retry-After header")
+	}
+	var e struct {
+		Error        string `json:"error"`
+		RetryAfterMs int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e.RetryAfterMs <= 0 {
+		t.Errorf("retry_after_ms = %d, want > 0", e.RetryAfterMs)
+	}
+	if !strings.Contains(e.Error, "overloaded") {
+		t.Errorf("shed error %q does not say overloaded", e.Error)
+	}
+
+	close(hold) // release the pinned sweep; subsequent flushes pass straight through
+	wg.Wait()   // the queued requests complete normally — shedding, not collapse
+	if n := reg.Snapshot().Counter("serve.shed_total"); n == 0 {
+		t.Error("serve.shed_total did not count the shed")
+	}
+	// And the server recovered: the same request now succeeds.
+	if got, resp := binEval(t, ts.URL, "exp", "rlibm", make([]float32, 8)); got == nil {
+		t.Fatalf("post-overload request failed: %d", resp.StatusCode)
+	}
+}
+
+// TestDirectPathSheds: the non-coalesced path is bounded too — when
+// MaxInflightBatches sweeps are already running, a direct request waits at
+// most one flush interval and then sheds 429.
+func TestDirectPathSheds(t *testing.T) {
+	srv := New(Config{
+		Registry:           obs.NewRegistry(),
+		CoalesceMaxRequest: -1, // everything is direct
+		CoalesceMaxDelay:   5 * time.Millisecond,
+		MaxInflightBatches: 1,
+	})
+	srv.directSem <- struct{}{} // occupy the only slot
+	req := httptest.NewRequest("POST", "/v1/evalbin/exp/rlibm", strings.NewReader("\x00\x00\x00\x00"))
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("direct request with saturated semaphore: status %d, want 429", rr.Code)
+	}
+	<-srv.directSem // release
+	rr = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/v1/evalbin/exp/rlibm", strings.NewReader("\x00\x00\x00\x00"))
+	srv.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("after release: status %d, want 200", rr.Code)
+	}
+}

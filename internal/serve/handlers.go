@@ -9,15 +9,18 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 
+	"rlibm/internal/obs"
 	"rlibm/pkg/rlibm"
 )
 
-// jsonBytesPerElem bounds how many request-body bytes one JSON element may
-// reasonably take (sign, 17 significant digits, exponent, separator); the
-// JSON body limit is MaxBatch elements at this size plus framing slack.
-const jsonBytesPerElem = 32
+// jsonMaxBytesPerElem is the framing DoS ceiling per element, not the real
+// limit: JSON permits arbitrarily long number literals, so the request limit
+// is enforced in *elements* during streaming decode and the byte cap only
+// has to be generous enough that any legal MaxBatch-element body fits.
+const jsonMaxBytesPerElem = 512
 
 // bufPool recycles the request/response element buffers so steady-state
 // serving does not grow the heap with request size.
@@ -32,7 +35,34 @@ func getBuf(n int) *[]float32 {
 	return p
 }
 
+// getBufEmpty returns a zero-length buffer with at least capHint capacity,
+// for append-style fills (the streaming JSON decoder, the coalescer queue).
+func getBufEmpty(capHint int) *[]float32 {
+	p := bufPool.Get().(*[]float32)
+	if cap(*p) < capHint {
+		*p = make([]float32, 0, capHint)
+	} else {
+		*p = (*p)[:0]
+	}
+	return p
+}
+
 func putBuf(p *[]float32) { bufPool.Put(p) }
+
+// byteBufPool recycles raw byte buffers: JSON response bodies, binary
+// request/response frames, stream protocol frames.
+var byteBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getByteBuf(n int) *[]byte {
+	p := byteBufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putByteBuf(p *[]byte) { byteBufPool.Put(p) }
 
 // route resolves the {func}/{scheme} path segments, replying 404 on unknown
 // names (the URL space is the API surface; a bad segment is a missing
@@ -40,41 +70,72 @@ func putBuf(p *[]float32) { bufPool.Put(p) }
 func (s *Server) route(w http.ResponseWriter, r *http.Request) (rlibm.Func, rlibm.Scheme, bool) {
 	f, err := rlibm.ParseFunc(r.PathValue("func"))
 	if err != nil {
-		httpError(w, http.StatusNotFound, "unknown function %q", r.PathValue("func"))
+		writeAPIError(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown function %q", r.PathValue("func"))})
 		return 0, 0, false
 	}
 	sch, err := rlibm.ParseScheme(r.PathValue("scheme"))
 	if err != nil {
-		httpError(w, http.StatusNotFound, "unknown scheme %q", r.PathValue("scheme"))
+		writeAPIError(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown scheme %q", r.PathValue("scheme"))})
 		return 0, 0, false
 	}
 	return f, sch, true
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// apiError is the uniform error body of every non-200 response. Limit is
+// always the element limit (never bytes — the byte ceiling is an internal
+// heuristic that must not leak); Elements appears when the server knows the
+// exact count that was rejected; RetryAfterMs appears on 429 sheds.
+type apiError struct {
+	Error        string `json:"error"`
+	Elements     int    `json:"elements,omitempty"`
+	Limit        int    `json:"limit,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeAPIError(w http.ResponseWriter, code int, e apiError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(e)
 }
 
-// f32 carries a float32 across JSON in both directions: a
-// shortest-round-trip number when finite, and the strings "NaN", "Inf" and
-// "-Inf" for the non-finite values JSON cannot express. The same spellings
-// are accepted on input, so a response array round-trips as a request.
-type f32 float32
-
-func (v f32) MarshalJSON() ([]byte, error) {
-	f := float64(v)
-	switch {
-	case math.IsNaN(f):
-		return []byte(`"NaN"`), nil
-	case math.IsInf(f, 1):
-		return []byte(`"Inf"`), nil
-	case math.IsInf(f, -1):
-		return []byte(`"-Inf"`), nil
+// writeLimitError is the shared 413 shape of both endpoints: the limit in
+// elements, plus the exact element count when the server saw it.
+func writeLimitError(w http.ResponseWriter, elements, limit int) {
+	e := apiError{Limit: limit, Elements: elements}
+	if elements > 0 {
+		e.Error = fmt.Sprintf("batch of %d elements exceeds limit of %d", elements, limit)
+	} else {
+		e.Error = fmt.Sprintf("batch exceeds limit of %d elements", limit)
 	}
-	return strconv.AppendFloat(nil, f, 'g', -1, 32), nil
+	writeAPIError(w, http.StatusRequestEntityTooLarge, e)
 }
+
+// writeOverloaded is the typed 429 load-shedding response: the bounded
+// queue in front of the kernels is full, and the client should back off for
+// about one flush interval before retrying.
+func (s *Server) writeOverloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeAPIError(w, http.StatusTooManyRequests, apiError{
+		Error:        "server overloaded: request shed by bounded queue",
+		RetryAfterMs: s.retryAfterMs(),
+	})
+}
+
+func (s *Server) retryAfterMs() int64 {
+	ms := s.cfg.CoalesceMaxDelay.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// f32 accepts a float32 from JSON: a number, or the strings "NaN", "Inf",
+// "+Inf" and "-Inf" for the non-finite values JSON cannot express (the same
+// spellings the response emits, so a response array round-trips as a
+// request). The number path parses the decoder-validated literal directly
+// with strconv — the JSON grammar has already been checked, and going back
+// through json.Unmarshal would cost a full decoder state per element.
+type f32 float32
 
 func (v *f32) UnmarshalJSON(data []byte) error {
 	switch string(data) {
@@ -88,26 +149,313 @@ func (v *f32) UnmarshalJSON(data []byte) error {
 		*v = f32(math.Inf(-1))
 		return nil
 	}
-	var f float64
-	if err := json.Unmarshal(data, &f); err != nil {
-		return err
+	f, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("invalid element %s (want a number or \"NaN\"/\"Inf\"/\"-Inf\")", data)
 	}
 	*v = f32(f)
 	return nil
 }
 
-type evalRequest struct {
-	X []f32 `json:"x"`
+// appendF32 appends the JSON encoding of v: shortest round-trip number when
+// finite, quoted special otherwise. Appending into a caller-owned buffer is
+// what keeps the response path at zero heap allocations per element.
+func appendF32(buf []byte, v float32) []byte {
+	f := float64(v)
+	switch {
+	case math.IsNaN(f):
+		return append(buf, `"NaN"`...)
+	case math.IsInf(f, 1):
+		return append(buf, `"Inf"`...)
+	case math.IsInf(f, -1):
+		return append(buf, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(buf, f, 'g', -1, 32)
 }
 
-type evalResponse struct {
-	Y []f32 `json:"y"`
+// appendEvalResponse appends the {"y":[...]} body for y.
+func appendEvalResponse(buf []byte, y []float32) []byte {
+	buf = append(buf, `{"y":[`...)
+	for i, v := range y {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendF32(buf, v)
+	}
+	return append(buf, "]}\n"...)
+}
+
+// tooManyElementsError marks a request whose "x" array exceeded the element
+// limit during decode, carrying the exact count so the 413 body can report
+// it; handlers map it to 413.
+type tooManyElementsError struct{ elements int }
+
+func (e *tooManyElementsError) Error() string {
+	return fmt.Sprintf("serve: batch of %d elements exceeds limit", e.elements)
+}
+
+// jsonScanner is the minimal tokenizer behind decodeEvalRequest. The eval
+// request shape is one flat object with one interesting key, so a full
+// json.Decoder — which builds a decode state per value and boxes every
+// token — costs several heap objects per element; scanning the body in
+// place costs none.
+type jsonScanner struct {
+	b []byte
+	i int
+}
+
+var errJSONTruncated = errors.New("unexpected end of request body")
+
+// peek returns the next non-whitespace byte without consuming it (0 at EOF).
+func (s *jsonScanner) peek() byte {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return s.b[s.i]
+		}
+	}
+	return 0
+}
+
+// expect consumes the next non-whitespace byte, which must be c.
+func (s *jsonScanner) expect(c byte) error {
+	if s.peek() != c {
+		if s.i >= len(s.b) {
+			return errJSONTruncated
+		}
+		return fmt.Errorf("unexpected %q (want %q)", s.b[s.i], c)
+	}
+	s.i++
+	return nil
+}
+
+// stringToken consumes a JSON string and returns its raw contents (escape
+// sequences unprocessed — the only strings this API compares against contain
+// none, and an escaped spelling simply fails the comparison).
+func (s *jsonScanner) stringToken() ([]byte, error) {
+	if err := s.expect('"'); err != nil {
+		return nil, err
+	}
+	start := s.i
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '\\':
+			s.i += 2
+		case '"':
+			s.i++
+			return s.b[start : s.i-1], nil
+		default:
+			s.i++
+		}
+	}
+	return nil, errJSONTruncated
+}
+
+// numberToken consumes a JSON number, enforcing the JSON grammar (so the
+// laxer strconv syntax — leading zeros, "+1", "1.", hex floats, "inf" —
+// stays rejected) and returns its bytes.
+func (s *jsonScanner) numberToken() ([]byte, error) {
+	s.peek() // position on the first significant byte
+	start := s.i
+	if s.i < len(s.b) && s.b[s.i] == '-' {
+		s.i++
+	}
+	digits := func() int {
+		n := 0
+		for s.i < len(s.b) && s.b[s.i] >= '0' && s.b[s.i] <= '9' {
+			s.i++
+			n++
+		}
+		return n
+	}
+	switch {
+	case s.i < len(s.b) && s.b[s.i] == '0':
+		s.i++ // a leading zero must stand alone
+	case digits() == 0:
+		return nil, fmt.Errorf("invalid number %q", s.b[start:min(s.i+1, len(s.b))])
+	}
+	if s.i < len(s.b) && s.b[s.i] == '.' {
+		s.i++
+		if digits() == 0 {
+			return nil, fmt.Errorf("invalid number %q", s.b[start:s.i])
+		}
+	}
+	if s.i < len(s.b) && (s.b[s.i] == 'e' || s.b[s.i] == 'E') {
+		s.i++
+		if s.i < len(s.b) && (s.b[s.i] == '+' || s.b[s.i] == '-') {
+			s.i++
+		}
+		if digits() == 0 {
+			return nil, fmt.Errorf("invalid number %q", s.b[start:s.i])
+		}
+	}
+	return s.b[start:s.i], nil
+}
+
+// literal consumes the exact keyword lit (true/false/null tails).
+func (s *jsonScanner) literal(lit string) error {
+	s.peek()
+	if len(s.b)-s.i < len(lit) || string(s.b[s.i:s.i+len(lit)]) != lit {
+		return fmt.Errorf("invalid literal at byte %d", s.i)
+	}
+	s.i += len(lit)
+	return nil
+}
+
+// skipValue consumes one JSON value of any shape (unknown top-level keys).
+func (s *jsonScanner) skipValue() error {
+	switch c := s.peek(); {
+	case c == '"':
+		_, err := s.stringToken()
+		return err
+	case c == '{' || c == '[':
+		open, closer := c, byte('}')
+		if c == '[' {
+			closer = ']'
+		}
+		s.i++
+		depth := 1
+		for s.i < len(s.b) {
+			switch s.b[s.i] {
+			case '"':
+				if _, err := s.stringToken(); err != nil {
+					return err
+				}
+				continue
+			case open:
+				depth++
+			case closer:
+				depth--
+				if depth == 0 {
+					s.i++
+					return nil
+				}
+			}
+			s.i++
+		}
+		return errJSONTruncated
+	case c == 't':
+		return s.literal("true")
+	case c == 'f':
+		return s.literal("false")
+	case c == 'n':
+		return s.literal("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		_, err := s.numberToken()
+		return err
+	case c == 0:
+		return errJSONTruncated
+	default:
+		return fmt.Errorf("unexpected %q", c)
+	}
+}
+
+// element consumes one "x" array element: a number, or one of the quoted
+// special spellings ("NaN", "Inf", "+Inf", "-Inf") JSON cannot express as
+// numbers. The ParseFloat string conversion is the decode path's only
+// per-element heap allocation.
+func (s *jsonScanner) element() (float32, error) {
+	if s.peek() == '"' {
+		raw, err := s.stringToken()
+		if err != nil {
+			return 0, err
+		}
+		switch string(raw) {
+		case "NaN":
+			return float32(math.NaN()), nil
+		case "Inf", "+Inf":
+			return float32(math.Inf(1)), nil
+		case "-Inf":
+			return float32(math.Inf(-1)), nil
+		}
+		return 0, fmt.Errorf("invalid element %q (want a number or \"NaN\"/\"Inf\"/\"-Inf\")", raw)
+	}
+	raw, err := s.numberToken()
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(string(raw), 64)
+	if err != nil && !errors.Is(err, strconv.ErrRange) {
+		return 0, fmt.Errorf("invalid element %q", raw)
+	}
+	return float32(f), nil
+}
+
+// decodeEvalRequest parses {"x":[...]} from body into *srcp, enforcing
+// maxBatch in elements while decoding: the request is rejected as soon as
+// one element too many appears, regardless of how many bytes the literals
+// take. Unknown top-level keys are skipped; "x":null is an empty batch.
+func decodeEvalRequest(body []byte, maxBatch int, srcp *[]float32) error {
+	s := &jsonScanner{b: body}
+	if err := s.expect('{'); err != nil {
+		return errors.New("request body must be a JSON object")
+	}
+	for first := true; s.peek() != '}'; first = false {
+		if !first {
+			if err := s.expect(','); err != nil {
+				return err
+			}
+		}
+		key, err := s.stringToken()
+		if err != nil {
+			return err
+		}
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		if string(key) != "x" {
+			if err := s.skipValue(); err != nil {
+				return err
+			}
+			continue
+		}
+		if s.peek() == 'n' { // "x": null is an empty batch
+			if err := s.literal("null"); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.expect('['); err != nil {
+			return errors.New(`"x" must be an array`)
+		}
+		elements := 0
+		for first := true; s.peek() != ']'; first = false {
+			if !first {
+				if err := s.expect(','); err != nil {
+					return err
+				}
+			}
+			v, err := s.element()
+			if err != nil {
+				return err
+			}
+			elements++
+			// Past the limit, keep scanning without storing so the 413 can
+			// report the exact element count (the byte ceiling bounds the
+			// extra work).
+			if elements <= maxBatch {
+				*srcp = append(*srcp, v)
+			}
+		}
+		s.i++ // the ']'
+		if elements > maxBatch {
+			return &tooManyElementsError{elements: elements}
+		}
+	}
+	s.i++ // the '}'
+	if s.peek() != 0 {
+		return fmt.Errorf("trailing data after request object")
+	}
+	return nil
 }
 
 // handleEvalJSON: POST /v1/eval/{func}/{scheme} with body {"x":[...]}.
 // Replies {"y":[...]} where y[i] is the correctly rounded float32 result at
-// float32(x[i]). Malformed JSON is 400; more than MaxBatch elements (or a
-// body too large to hold that many) is 413.
+// float32(x[i]). Malformed JSON is 400; more than MaxBatch elements is 413
+// (counted during decode — long number literals never trip it); a shed
+// request is 429 with Retry-After.
 func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
 	f, sch, ok := s.route(w, r)
 	if !ok {
@@ -116,46 +464,87 @@ func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
 	if s.onEval != nil {
 		s.onEval()
 	}
-	limit := int64(s.cfg.MaxBatch)*jsonBytesPerElem + 4096
-	var req evalRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(&req); err != nil {
+	byteCeil := int64(s.cfg.MaxBatch)*jsonMaxBytesPerElem + 4096
+	hint := r.ContentLength
+	if hint > byteCeil {
+		hint = byteCeil
+	}
+	bodyp, err := readBodyPooled(http.MaxBytesReader(w, r.Body, byteCeil), hint)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", limit)
+			writeLimitError(w, 0, s.cfg.MaxBatch)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		writeAPIError(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("reading request: %v", err)})
 		return
 	}
-	if len(req.X) > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.X), s.cfg.MaxBatch)
+	defer putByteBuf(bodyp)
+	srcp := getBufEmpty(256)
+	defer putBuf(srcp)
+	if err := decodeEvalRequest(*bodyp, s.cfg.MaxBatch, srcp); err != nil {
+		var tooMany *tooManyElementsError
+		if errors.As(err, &tooMany) {
+			writeLimitError(w, tooMany.elements, s.cfg.MaxBatch)
+		} else {
+			writeAPIError(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("malformed request: %v", err)})
+		}
 		return
 	}
-	src := getBuf(len(req.X))
-	dst := getBuf(len(req.X))
-	defer putBuf(src)
-	defer putBuf(dst)
-	for i, x := range req.X {
-		(*src)[i] = float32(x)
+	dstp := getBuf(len(*srcp))
+	defer putBuf(dstp)
+	if err := s.eval(f, sch, *dstp, *srcp); err != nil {
+		s.writeOverloaded(w)
+		return
 	}
-	rlibm.EvalBatch(f, sch, *dst, *src)
-	s.batchElems.Observe(int64(len(req.X)))
+	s.batchElems.Observe(int64(len(*srcp)))
 
-	resp := evalResponse{Y: make([]f32, len(req.X))}
-	for i, y := range *dst {
-		resp.Y[i] = f32(y)
-	}
+	bufp := getByteBuf(0)
+	defer putByteBuf(bufp)
+	*bufp = appendEvalResponse((*bufp)[:0], *dstp)
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
+	w.Header().Set("Content-Length", strconv.Itoa(len(*bufp)))
+	if _, err := w.Write(*bufp); err != nil {
 		s.cfg.Log.Debugf("serve: json response write: %v", err)
+	}
+}
+
+// readBodyPooled reads all of r into a pooled byte buffer (returned with
+// its put function), using the Content-Length as a capacity hint.
+func readBodyPooled(r io.Reader, hint int64) (*[]byte, error) {
+	if hint < 0 {
+		hint = 0
+	}
+	p := byteBufPool.Get().(*[]byte)
+	if int64(cap(*p)) < hint {
+		*p = make([]byte, 0, hint)
+	} else {
+		*p = (*p)[:0]
+	}
+	b := *p
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			*p = b
+			return p, nil
+		}
+		if err != nil {
+			*p = b
+			putByteBuf(p)
+			return nil, err
+		}
 	}
 }
 
 // handleEvalBin: POST /v1/evalbin/{func}/{scheme} with a raw little-endian
 // float32 frame as the body; the response is the result frame in the same
 // encoding. A body whose length is not a multiple of 4 is 400; more than
-// MaxBatch elements is 413. This endpoint carries every bit pattern,
-// specials included.
+// MaxBatch elements is 413; a shed request is 429. This endpoint carries
+// every bit pattern, specials included.
 func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 	f, sch, ok := s.route(w, r)
 	if !ok {
@@ -165,18 +554,26 @@ func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 		s.onEval()
 	}
 	limit := int64(s.cfg.MaxBatch) * 4
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	bodyp, err := readBodyPooled(http.MaxBytesReader(w, r.Body, limit), r.ContentLength)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d elements", s.cfg.MaxBatch)
+			// 4 bytes per element: a declared Content-Length gives the exact
+			// rejected element count without reading past the cap.
+			elements := 0
+			if r.ContentLength > 0 && r.ContentLength%4 == 0 {
+				elements = int(r.ContentLength / 4)
+			}
+			writeLimitError(w, elements, s.cfg.MaxBatch)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "reading request: %v", err)
+		writeAPIError(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("reading request: %v", err)})
 		return
 	}
+	defer putByteBuf(bodyp)
+	body := *bodyp
 	if len(body)%4 != 0 {
-		httpError(w, http.StatusBadRequest, "body length %d is not a multiple of 4", len(body))
+		writeAPIError(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("body length %d is not a multiple of 4", len(body))})
 		return
 	}
 	n := len(body) / 4
@@ -187,10 +584,15 @@ func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < n; i++ {
 		(*src)[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
 	}
-	rlibm.EvalBatch(f, sch, *dst, *src)
+	if err := s.eval(f, sch, *dst, *src); err != nil {
+		s.writeOverloaded(w)
+		return
+	}
 	s.batchElems.Observe(int64(n))
 
-	out := make([]byte, 4*n)
+	outp := getByteBuf(4 * n)
+	defer putByteBuf(outp)
+	out := *outp
 	for i, y := range *dst {
 		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(y))
 	}
@@ -206,11 +608,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// handleMetricz exposes the obs registry snapshot; the serve.* counters and
-// histograms land here.
-func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(s.cfg.Registry.Snapshot()); err != nil {
+// handleMetricz exposes the obs registry: Prometheus text format by default
+// (scrapable by a stock Prometheus), the JSON snapshot with ?format=json or
+// an Accept: application/json header (what the run-report machinery reads).
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Registry.Snapshot()
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(snap); err != nil {
+			s.cfg.Log.Debugf("serve: metricz write: %v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	if err := snap.WritePrometheus(w); err != nil {
 		s.cfg.Log.Debugf("serve: metricz write: %v", err)
 	}
 }

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rlibm/internal/obs"
+)
+
+// TestJSONLongLiteralsNotRejected is the regression test for the 413 bug:
+// the old handler capped the body at MaxBatch*32 bytes + slack, so a legal
+// MaxBatch-element request whose number literals were long (JSON permits
+// arbitrarily many digits) was rejected. The limit is now enforced in
+// elements during decode: exactly MaxBatch elements must be 200 no matter
+// how many bytes their literals take.
+func TestJSONLongLiteralsNotRejected(t *testing.T) {
+	const maxBatch = 8
+	ts := newTestServer(t, Config{MaxBatch: maxBatch})
+
+	// Each literal is ~1000 bytes: far beyond the old 8*32+4096 byte cap,
+	// but still only 8 elements. The long tail of zeros does not change the
+	// parsed value.
+	longLiteral := "1.5" + strings.Repeat("0", 990) + "1e0"
+	var b strings.Builder
+	b.WriteString(`{"x":[`)
+	for i := 0; i < maxBatch; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(longLiteral)
+	}
+	b.WriteString(`]}`)
+	resp, err := http.Post(ts.URL+"/v1/eval/exp/rlibm", "application/json", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := json.Marshal(resp.Header)
+		t.Fatalf("MaxBatch-element request with long literals: status %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	var reply struct {
+		Y []f32 `json:"y"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Y) != maxBatch {
+		t.Fatalf("got %d results, want %d", len(reply.Y), maxBatch)
+	}
+	want := wantFor(t, "exp", "rlibm", 1.5)
+	for i, y := range reply.Y {
+		if math.Float32bits(float32(y)) != math.Float32bits(want) {
+			t.Errorf("element %d: %x, want %x", i, math.Float32bits(float32(y)), math.Float32bits(want))
+		}
+	}
+}
+
+// TestLimitErrorSchemaUnified: both endpoints report the same 413 body
+// shape, with the limit in elements (never the internal byte heuristic).
+func TestLimitErrorSchemaUnified(t *testing.T) {
+	const maxBatch = 8
+	ts := newTestServer(t, Config{MaxBatch: maxBatch})
+
+	check := func(name, path, contentType, body string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413", name, resp.StatusCode)
+		}
+		var e struct {
+			Error    string `json:"error"`
+			Elements int    `json:"elements"`
+			Limit    int    `json:"limit"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: decoding error body: %v", name, err)
+		}
+		if e.Limit != maxBatch {
+			t.Errorf("%s: limit = %d, want %d (elements)", name, e.Limit, maxBatch)
+		}
+		if e.Elements != maxBatch+1 {
+			t.Errorf("%s: elements = %d, want %d (the exact rejected count)", name, e.Elements, maxBatch+1)
+		}
+		if !strings.Contains(e.Error, "elements") {
+			t.Errorf("%s: error %q does not state the unit (elements)", name, e.Error)
+		}
+		if strings.Contains(e.Error, "bytes") {
+			t.Errorf("%s: error %q leaks the byte heuristic", name, e.Error)
+		}
+	}
+	check("json", "/v1/eval/exp/rlibm", "application/json", `{"x":[1,2,3,4,5,6,7,8,9]}`)
+	check("binary", "/v1/evalbin/exp/rlibm", "application/octet-stream", strings.Repeat("\x00", 4*(maxBatch+1)))
+}
+
+// TestSpecialsRoundTripJSON: ±0, ±Inf, NaN and subnormals through the JSON
+// endpoint, in both spellings directions — including the accepted "+Inf"
+// input spelling and the sign of zero.
+func TestSpecialsRoundTripJSON(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	post := func(body string) []json.RawMessage {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/eval/exp/rlibm-estrin-fma", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200 for %s", resp.StatusCode, body)
+		}
+		var reply struct {
+			Y []json.RawMessage `json:"y"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		return reply.Y
+	}
+
+	// exp of: NaN -> "NaN", +Inf (both input spellings) -> "Inf",
+	// -Inf -> 0, -0 -> 1, smallest subnormal -> 1.
+	got := post(`{"x":["NaN","Inf","+Inf","-Inf",-0,1e-45]}`)
+	want := []string{`"NaN"`, `"Inf"`, `"Inf"`, `0`, `1`, `1`}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Errorf("element %d: got %s, want %s", i, got[i], w)
+		}
+	}
+
+	// log2 produces -Inf at +0 and -0, NaN below zero; subnormal inputs
+	// have finite logs. The response spellings must round-trip as inputs.
+	resp, err := http.Post(ts.URL+"/v1/eval/log2/rlibm", "application/json",
+		strings.NewReader(`{"x":[0,-0,-1,1e-45]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply struct {
+		Y []f32 `json:"y"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	wants := []float32{
+		wantFor(t, "log2", "rlibm", 0),
+		wantFor(t, "log2", "rlibm", float32(math.Copysign(0, -1))),
+		wantFor(t, "log2", "rlibm", -1),
+		wantFor(t, "log2", "rlibm", 1e-45),
+	}
+	for i, w := range wants {
+		g := float32(reply.Y[i])
+		if math.Float32bits(g) != math.Float32bits(w) && !(isNaN32(g) && isNaN32(w)) {
+			t.Errorf("log2 special %d: got %x, want %x", i, math.Float32bits(g), math.Float32bits(w))
+		}
+	}
+}
+
+// TestSpecialsRoundTripBinary: the binary endpoint carries every bit
+// pattern unchanged — specials, negative zero, subnormals in and out.
+func TestSpecialsRoundTripBinary(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	src := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		0, float32(math.Copysign(0, -1)),
+		math.Float32frombits(1),          // smallest positive subnormal
+		math.Float32frombits(0x807fffff), // largest negative subnormal
+		-103.9,                           // exp: subnormal output
+	}
+	for _, fn := range []string{"exp", "log2"} {
+		got, resp := binEval(t, ts.URL, fn, "rlibm-estrin-fma", src)
+		if got == nil {
+			t.Fatalf("%s: status %d", fn, resp.StatusCode)
+		}
+		for i, x := range src {
+			want := wantFor(t, fn, "rlibm-estrin-fma", x)
+			if math.Float32bits(got[i]) != math.Float32bits(want) &&
+				!(isNaN32(got[i]) && isNaN32(want)) {
+				t.Errorf("%s(%g): got %x, want %x", fn, x, math.Float32bits(got[i]), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// TestJSONResponseZeroAllocsPerElem: the regression test for the response
+// allocation bug — encoding y through the pooled scratch buffer must not
+// allocate per element (the old path allocated once per element in
+// f32.MarshalJSON plus a fresh []f32 copy of the batch).
+func TestJSONResponseZeroAllocsPerElem(t *testing.T) {
+	y := make([]float32, 4096)
+	for i := range y {
+		y[i] = float32(i)/16 + 0.0625
+	}
+	y[0] = float32(math.NaN())
+	y[1] = float32(math.Inf(1))
+	buf := make([]byte, 0, 16*len(y)+64)
+	var out []byte
+	if avg := testing.AllocsPerRun(10, func() { out = appendEvalResponse(buf[:0], y) }); avg != 0 {
+		t.Errorf("appendEvalResponse allocates %.1f objects per call, want 0", avg)
+	}
+	if !bytes.HasPrefix(out, []byte(`{"y":["NaN","Inf",`)) {
+		t.Errorf("unexpected encoding prefix: %.40s", out)
+	}
+}
+
+// TestJSONDecodeAllocsPerElement: the scanner-based decoder must stay at
+// one heap object per element — the ParseFloat string conversion — where
+// the old path ran a full json.Unmarshal per element (~6 objects).
+func TestJSONDecodeAllocsPerElement(t *testing.T) {
+	const n = 4096
+	var b strings.Builder
+	b.WriteString(`{"x":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d.%d", i%100, i%7+1)
+	}
+	b.WriteString(`]}`)
+	body := []byte(b.String())
+	srcp := getBufEmpty(n)
+	defer putBuf(srcp)
+	avg := testing.AllocsPerRun(10, func() {
+		*srcp = (*srcp)[:0]
+		if err := decodeEvalRequest(body, 1<<20, srcp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perElem := avg / n; perElem > 1.05 {
+		t.Errorf("decode allocates %.2f objects per element, want <= 1", perElem)
+	}
+}
+
+// TestJSONDecodeStrictGrammar: the hand-rolled scanner must not inherit
+// strconv's laxer syntax — JSON forbids these spellings.
+func TestJSONDecodeStrictGrammar(t *testing.T) {
+	for _, bad := range []string{
+		`{"x":[01]}`, `{"x":[+1]}`, `{"x":[1.]}`, `{"x":[.5]}`,
+		`{"x":[0x1p3]}`, `{"x":[1e]}`, `{"x":[inf]}`, `{"x":[nan]}`,
+		`{"x":[1,]}`, `{"x":[1 2]}`, `{"x":[1]`, `{"x":[1]}}`,
+		`{"x":"nope"}`, `[1]`, ``,
+	} {
+		srcp := getBufEmpty(4)
+		if err := decodeEvalRequest([]byte(bad), 8, srcp); err == nil {
+			t.Errorf("%s: accepted, want a parse error", bad)
+		}
+		putBuf(srcp)
+	}
+	for _, good := range []string{
+		`{"x":[]}`, `{"x":null}`, `{"x":[-0.5e-3,"NaN","+Inf"]}`,
+		`{"pad":{"a":[1,"]"]},"x":[1,2]} `, `{}`,
+	} {
+		srcp := getBufEmpty(4)
+		if err := decodeEvalRequest([]byte(good), 8, srcp); err != nil {
+			t.Errorf("%s: rejected with %v, want accepted", good, err)
+		}
+		putBuf(srcp)
+	}
+}
+
+// FuzzEvalBin drives the binary endpoint with arbitrary bodies: empty, odd
+// lengths, exactly-at-limit and over-limit frames must map to the documented
+// statuses and never panic.
+func FuzzEvalBin(f *testing.F) {
+	const maxBatch = 16
+	srv := New(Config{
+		MaxBatch:           maxBatch,
+		CoalesceMaxRequest: -1, // direct path: no flush-delay per fuzz case
+		Registry:           obs.NewRegistry(),
+	})
+	handler := srv.Handler()
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, 4))
+	f.Add(make([]byte, 4*maxBatch))   // exactly at the limit
+	f.Add(make([]byte, 4*maxBatch+4)) // one element over
+	f.Add(make([]byte, 4*maxBatch+1)) // over and ragged
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest("POST", "/v1/evalbin/exp/rlibm", bytes.NewReader(data))
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		switch {
+		case len(data) > 4*maxBatch:
+			if rr.Code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("%d bytes: status %d, want 413", len(data), rr.Code)
+			}
+		case len(data)%4 != 0:
+			if rr.Code != http.StatusBadRequest {
+				t.Fatalf("%d bytes (ragged): status %d, want 400", len(data), rr.Code)
+			}
+		default:
+			if rr.Code != http.StatusOK {
+				t.Fatalf("%d bytes: status %d, want 200", len(data), rr.Code)
+			}
+			if got := rr.Body.Len(); got != len(data) {
+				t.Fatalf("response has %d bytes, want %d", got, len(data))
+			}
+		}
+	})
+}

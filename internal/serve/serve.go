@@ -1,25 +1,32 @@
-// Package serve implements the rlibm evaluation HTTP service: batched
-// correctly rounded elementary functions over pkg/rlibm, with JSON and
-// compact binary endpoints, per-function/per-scheme routing, request size
-// limits, read/write timeouts, graceful connection draining, and
-// observability through internal/obs (request/error counters, latency and
-// batch-size histograms, optional trace spans, optional pprof).
+// Package serve implements the rlibm evaluation service: batched correctly
+// rounded elementary functions over pkg/rlibm, behind two transports that
+// share one evaluation core — an HTTP API (JSON and compact binary
+// endpoints) and a persistent-connection streaming binary protocol
+// (length-prefixed frames over one TCP conn, see stream.go). The core
+// coalesces small requests across connections into shared EvalBatch sweeps
+// (see coalesce.go), bounds its queues, and sheds excess load with typed
+// backpressure errors (HTTP 429 + Retry-After, stream status overloaded)
+// instead of collapsing. Observability flows through internal/obs:
+// request/error counters, latency, batch-size and flush-size histograms,
+// queue-depth gauges, shed counters, optional trace spans, optional pprof,
+// and a Prometheus-text /metricz.
 //
 // The package is a library so the server can run in-process: cmd/rlibm-serve
-// wires it to a listener and signals, the end-to-end tests drive it through
-// httptest, and rlibm-bench's -serve-bench mode load-tests it over a
-// loopback listener.
+// wires it to listeners and signals, the end-to-end tests drive it through
+// httptest and loopback conns, and rlibm-bench's -serve-bench mode
+// load-tests it over loopback listeners.
 //
 // Endpoints:
 //
 //	POST /v1/eval/{func}/{scheme}     JSON  {"x":[...]} -> {"y":[...]}
 //	POST /v1/evalbin/{func}/{scheme}  raw little-endian float32 frame in/out
 //	GET  /healthz                     liveness probe
-//	GET  /metricz                     obs registry snapshot as JSON
+//	GET  /metricz                     Prometheus text (JSON with ?format=json)
 //	GET  /debug/pprof/...             when Config.EnablePprof is set
 //
 // {func} is one of exp, exp2, exp10, log, log2, log10; {scheme} is a
-// canonical ("rlibm-estrin-fma") or short ("estrin-fma") scheme name.
+// canonical ("rlibm-estrin-fma") or short ("estrin-fma") scheme name. The
+// streaming protocol carries the same func/scheme space as one-byte codes.
 package serve
 
 import (
@@ -27,9 +34,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sync"
 	"time"
 
 	"rlibm/internal/obs"
+	"rlibm/pkg/rlibm"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field has a
@@ -37,11 +47,45 @@ import (
 type Config struct {
 	// Addr is the listen address for ListenAndServe ("" means ":8090").
 	Addr string
+	// StreamAddr is the listen address for the streaming binary protocol
+	// used by ListenAndServeStream ("" means ":8091").
+	StreamAddr string
 	// MaxBatch caps the number of elements in one request (0 means 1<<20).
-	// JSON and binary requests beyond it are rejected with 413.
+	// JSON, binary and stream requests beyond it are rejected with 413 (or
+	// the stream's too-large status). The limit is enforced in elements.
 	MaxBatch int
-	// ReadTimeout / WriteTimeout bound each request's transfer phases
-	// (0 means 10s / 30s).
+
+	// CoalesceMaxRequest: requests with at most this many elements enqueue
+	// into the per-(func,scheme) coalescer; larger ones evaluate directly
+	// (0 means 4096; negative disables coalescing). Coalescing is adaptive
+	// (group commit): an idle accumulator flushes the arriving request
+	// immediately, and requests landing while a sweep is being evaluated
+	// form the next sweep — no configured delay is ever waited out.
+	CoalesceMaxRequest int
+	// CoalesceFlushElems caps the elements one coalesced sweep takes from
+	// the queue (0 means 1<<15, the batch fan-out regime); whole requests
+	// are never split across sweeps.
+	CoalesceFlushElems int
+	// CoalesceMaxDelay bounds how long a direct (non-coalesced) request
+	// waits for an in-flight slot before being shed, and sizes the
+	// retry-after hint on 429 responses (0 means 500µs). The adaptive
+	// coalescer itself never waits on a timer.
+	CoalesceMaxDelay time.Duration
+	// MaxPendingElems bounds each (func,scheme) coalescer queue; enqueues
+	// beyond it are shed with 429 (0 means 4*CoalesceFlushElems).
+	MaxPendingElems int
+	// MaxInflightBatches bounds concurrent direct (non-coalesced) sweeps;
+	// beyond it requests wait up to CoalesceMaxDelay, then shed with 429
+	// (0 means 4*GOMAXPROCS).
+	MaxInflightBatches int
+	// StreamWindow bounds the in-flight requests one stream connection may
+	// have before the server stops reading further frames from it — TCP
+	// backpressure rather than shedding (0 means 128).
+	StreamWindow int
+
+	// ReadTimeout / WriteTimeout bound each HTTP request's transfer phases
+	// (0 means 10s / 30s). Stream connections are persistent: WriteTimeout
+	// bounds each response flush, reads block indefinitely between frames.
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown: in-flight requests get this
@@ -61,8 +105,29 @@ func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = ":8090"
 	}
+	if c.StreamAddr == "" {
+		c.StreamAddr = ":8091"
+	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 1 << 20
+	}
+	if c.CoalesceMaxRequest == 0 {
+		c.CoalesceMaxRequest = 4096
+	}
+	if c.CoalesceFlushElems == 0 {
+		c.CoalesceFlushElems = 1 << 15
+	}
+	if c.CoalesceMaxDelay == 0 {
+		c.CoalesceMaxDelay = 500 * time.Microsecond
+	}
+	if c.MaxPendingElems == 0 {
+		c.MaxPendingElems = 4 * c.CoalesceFlushElems
+	}
+	if c.MaxInflightBatches == 0 {
+		c.MaxInflightBatches = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.StreamWindow == 0 {
+		c.StreamWindow = 128
 	}
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = 10 * time.Second
@@ -82,12 +147,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the rlibm evaluation service. Create with New; serve with
-// ListenAndServe or Serve, or embed Handler in a test server.
+// Server is the rlibm evaluation service. Create with New; serve HTTP with
+// ListenAndServe or Serve, the stream protocol with ListenAndServeStream or
+// ServeStream, or embed Handler in a test server.
 type Server struct {
 	cfg        Config
 	mux        *http.ServeMux
 	batchElems *obs.Histogram
+	shedTotal  *obs.Counter
+
+	// coalescers holds one request accumulator per (func, scheme) pair;
+	// directSem bounds concurrent non-coalesced sweeps.
+	coalescers [rlibm.NumFuncs][rlibm.NumSchemes]*coalescer
+	directSem  chan struct{}
+
+	// stream connection bookkeeping (see stream.go).
+	streamConns  *obs.Gauge
+	streamFrames *obs.Counter
+	streamErrors *obs.Counter
 
 	// onEval, when non-nil, runs at the start of every eval request; the
 	// drain tests use it to hold requests in flight across a shutdown.
@@ -98,9 +175,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:        cfg,
-		mux:        http.NewServeMux(),
-		batchElems: cfg.Registry.Histogram("serve.batch_elems"),
+		cfg:          cfg,
+		mux:          http.NewServeMux(),
+		batchElems:   cfg.Registry.Histogram("serve.batch_elems"),
+		shedTotal:    cfg.Registry.Counter("serve.shed_total"),
+		directSem:    make(chan struct{}, cfg.MaxInflightBatches),
+		streamConns:  cfg.Registry.Gauge("serve.stream.conns"),
+		streamFrames: cfg.Registry.Counter("serve.stream.frames"),
+		streamErrors: cfg.Registry.Counter("serve.stream.errors"),
+	}
+	if cfg.CoalesceMaxRequest < 0 {
+		s.cfg.CoalesceMaxRequest = 0 // nothing coalesces; every request is direct
+	}
+	for _, f := range rlibm.Funcs {
+		for _, sch := range rlibm.Schemes {
+			s.coalescers[f][sch] = newCoalescer(f, sch, s.cfg, cfg.Registry)
+		}
 	}
 	wrap := func(name string, h http.HandlerFunc) http.Handler {
 		return obs.HTTPHandler(cfg.Registry, cfg.Tracer, name, h)
@@ -159,4 +249,80 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		return err
 	}
 	return s.Serve(ctx, ln)
+}
+
+// ServeStream accepts streaming-protocol connections on ln until ctx is
+// cancelled, then drains: the listener closes, every connection's read side
+// is shut so no new frames arrive, in-flight requests get up to
+// DrainTimeout to flush their responses, and stragglers are force-closed.
+func (s *Server) ServeStream(ctx context.Context, ln net.Listener) error {
+	s.cfg.Log.Infof("serve: stream listening on %s", ln.Addr())
+	var (
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+		wg    sync.WaitGroup
+	)
+	acceptDone := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptDone <- err
+				return
+			}
+			mu.Lock()
+			conns[conn] = struct{}{}
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.serveStreamConn(conn)
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+		}
+	}()
+	select {
+	case err := <-acceptDone:
+		return err
+	case <-ctx.Done():
+	}
+	ln.Close()
+	<-acceptDone
+	s.cfg.Log.Infof("serve: stream draining (up to %v)", s.cfg.DrainTimeout)
+	// Stop reading new frames; connections finish their in-flight work and
+	// close themselves (idle ones see EOF immediately).
+	mu.Lock()
+	for c := range conns {
+		if tc, ok := c.(interface{ CloseRead() error }); ok {
+			tc.CloseRead()
+		} else {
+			c.SetReadDeadline(time.Now())
+		}
+	}
+	mu.Unlock()
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(s.cfg.DrainTimeout):
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		<-finished
+	}
+	s.cfg.Log.Infof("serve: stream drained")
+	return nil
+}
+
+// ListenAndServeStream binds cfg.StreamAddr and calls ServeStream.
+func (s *Server) ListenAndServeStream(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.StreamAddr)
+	if err != nil {
+		return err
+	}
+	return s.ServeStream(ctx, ln)
 }

@@ -255,8 +255,9 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
-// TestHealthzAndMetricz: the liveness probe answers, and served requests
-// show up in the metrics snapshot.
+// TestHealthzAndMetricz: the liveness probe answers, served requests show
+// up in the JSON metrics snapshot, and the default /metricz body is the
+// Prometheus text exposition.
 func TestHealthzAndMetricz(t *testing.T) {
 	reg := obs.NewRegistry()
 	ts := newTestServer(t, Config{Registry: reg})
@@ -270,7 +271,7 @@ func TestHealthzAndMetricz(t *testing.T) {
 	}
 
 	binEval(t, ts.URL, "log2", "rlibm", []float32{1, 2, 4})
-	resp, err = http.Get(ts.URL + "/metricz")
+	resp, err = http.Get(ts.URL + "/metricz?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,6 +285,26 @@ func TestHealthzAndMetricz(t *testing.T) {
 	}
 	if h, ok := snap.Histograms["serve.batch_elems"]; !ok || h.Count != 1 || h.Sum != 3 {
 		t.Errorf("serve.batch_elems snapshot = %+v, want count 1 sum 3", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default metricz Content-Type = %q, want text/plain exposition", ct)
+	}
+	var prom bytes.Buffer
+	prom.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE serve_eval_bin_requests counter",
+		"serve_batch_elems_sum 3",
+		"# TYPE serve_coalesce_queue_elems gauge",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus metricz missing %q:\n%s", want, prom.String())
+		}
 	}
 }
 

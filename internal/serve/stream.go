@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"rlibm/pkg/rlibm"
+)
+
+// Streaming binary protocol: many eval requests multiplexed over one
+// persistent TCP connection, amortizing connection setup, header parsing
+// and syscall cost that dominate small HTTP requests. All integers are
+// little-endian. Every frame starts with a u32 length counting the bytes
+// that FOLLOW the length field (header remainder + payload), so a reader
+// can always resynchronize by skipping length bytes.
+//
+// Request frame (client -> server):
+//
+//	u32 length   = 12 + payload bytes
+//	u64 id       client-chosen request id, echoed in the response
+//	u8  func     rlibm.Func code (0 exp, 1 exp2, 2 exp10, 3 log, 4 log2, 5 log10)
+//	u8  scheme   rlibm.Scheme code (0 horner, 1 knuth, 2 estrin, 3 estrin-fma)
+//	u16 flags    must be zero (reserved)
+//	payload      float32 inputs, 4 bytes each
+//
+// Response frame (server -> client):
+//
+//	u32 length   = 12 + payload bytes
+//	u64 id       echoed request id
+//	u8  status   see streamOK etc. below
+//	u8  reserved zero
+//	u16 detail   status-specific: retry-after in ms for streamOverloaded
+//	payload      float32 results for streamOK, UTF-8 message otherwise
+//
+// Responses may arrive in any order; clients match them by id. Per-request
+// errors (unknown func, over-limit batch, shed) are reported in-band and
+// the connection stays usable; framing violations (length below the header
+// size, a short read) kill the connection, since byte sync is lost or the
+// peer is gone. The server stops reading when a connection has StreamWindow
+// requests in flight — backpressure surfaces to the client as TCP flow
+// control rather than errors.
+const (
+	streamHdrLen  = 12 // bytes after the length prefix, before the payload
+	streamMaxMsg  = 256
+	streamBufSize = 64 << 10
+)
+
+// Response status codes.
+const (
+	streamOK         = 0 // payload is the float32 result frame
+	streamBadFrame   = 1 // ragged payload or nonzero flags
+	streamBadFunc    = 2 // unknown func code
+	streamBadScheme  = 3 // unknown scheme code
+	streamTooLarge   = 4 // more than MaxBatch elements (the HTTP 413)
+	streamOverloaded = 5 // shed by a bounded queue (the HTTP 429)
+)
+
+// appendStreamResponse encodes a response frame onto buf.
+func appendStreamResponse(buf []byte, id uint64, status byte, detail uint16, payload []byte) []byte {
+	var hdr [4 + streamHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(streamHdrLen+len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = status
+	hdr[13] = 0
+	binary.LittleEndian.PutUint16(hdr[14:16], detail)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// serveStreamConn runs one connection: a read loop that decodes frames and
+// dispatches eval goroutines (bounded by StreamWindow), and a writer
+// goroutine that serializes response frames back, flushing whenever its
+// queue momentarily drains so latency stays low without a syscall per
+// response.
+func (s *Server) serveStreamConn(conn net.Conn) {
+	defer conn.Close()
+	s.streamConns.Add(1)
+	defer s.streamConns.Add(-1)
+
+	br := bufio.NewReaderSize(conn, streamBufSize)
+	bw := bufio.NewWriterSize(conn, streamBufSize)
+	respc := make(chan *[]byte, s.cfg.StreamWindow)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for bufp := range respc {
+			_, werr := bw.Write(*bufp)
+			putByteBuf(bufp)
+			if werr != nil {
+				s.streamErrors.Inc()
+				conn.Close() // unblocks the read loop
+				for bufp := range respc {
+					putByteBuf(bufp)
+				}
+				return
+			}
+			if len(respc) == 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+				if err := bw.Flush(); err != nil {
+					s.streamErrors.Inc()
+					conn.Close()
+					for bufp := range respc {
+						putByteBuf(bufp)
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	reply := func(id uint64, status byte, detail uint16, payload []byte) {
+		bufp := getByteBuf(0)
+		*bufp = appendStreamResponse((*bufp)[:0], id, status, detail, payload)
+		respc <- bufp
+	}
+	replyErr := func(id uint64, status byte, detail uint16, msg string) {
+		if len(msg) > streamMaxMsg {
+			msg = msg[:streamMaxMsg]
+		}
+		reply(id, status, detail, []byte(msg))
+	}
+
+	sem := make(chan struct{}, s.cfg.StreamWindow)
+	var wg sync.WaitGroup
+	maxPayload := s.cfg.MaxBatch * 4
+	for {
+		var hdr [4 + streamHdrLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break // EOF between frames is the clean way to end a conn
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		id := binary.LittleEndian.Uint64(hdr[4:12])
+		fb, sb := hdr[12], hdr[13]
+		flags := binary.LittleEndian.Uint16(hdr[14:16])
+		if length < streamHdrLen {
+			s.streamErrors.Inc()
+			break // framing is broken; byte sync is unrecoverable
+		}
+		payloadLen := int(length) - streamHdrLen
+		if payloadLen > maxPayload {
+			// Too large is a per-request error: skip the declared payload to
+			// stay in sync, then report it against the request id.
+			if _, err := io.CopyN(io.Discard, br, int64(payloadLen)); err != nil {
+				break
+			}
+			s.streamFrames.Inc()
+			replyErr(id, streamTooLarge, 0,
+				fmt.Sprintf("batch exceeds limit of %d elements", s.cfg.MaxBatch))
+			continue
+		}
+		bodyp := getByteBuf(payloadLen)
+		if _, err := io.ReadFull(br, *bodyp); err != nil {
+			putByteBuf(bodyp)
+			break
+		}
+		s.streamFrames.Inc()
+		switch {
+		case flags != 0:
+			putByteBuf(bodyp)
+			replyErr(id, streamBadFrame, 0, "nonzero flags")
+			continue
+		case payloadLen%4 != 0:
+			putByteBuf(bodyp)
+			replyErr(id, streamBadFrame, 0,
+				fmt.Sprintf("payload length %d is not a multiple of 4", payloadLen))
+			continue
+		case fb >= rlibm.NumFuncs:
+			putByteBuf(bodyp)
+			replyErr(id, streamBadFunc, 0, fmt.Sprintf("unknown function code %d", fb))
+			continue
+		case sb >= rlibm.NumSchemes:
+			putByteBuf(bodyp)
+			replyErr(id, streamBadScheme, 0, fmt.Sprintf("unknown scheme code %d", sb))
+			continue
+		}
+		if s.onEval != nil {
+			s.onEval()
+		}
+		sem <- struct{}{} // in-flight window: stop reading when full
+		wg.Add(1)
+		go func(id uint64, f rlibm.Func, sch rlibm.Scheme, bodyp *[]byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer putByteBuf(bodyp)
+			body := *bodyp
+			n := len(body) / 4
+			srcp, dstp := getBuf(n), getBuf(n)
+			defer putBuf(srcp)
+			defer putBuf(dstp)
+			for i := 0; i < n; i++ {
+				(*srcp)[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+			}
+			if err := s.eval(f, sch, *dstp, *srcp); err != nil {
+				replyErr(id, streamOverloaded, uint16(min64(s.retryAfterMs(), 1<<16-1)),
+					"server overloaded: request shed by bounded queue")
+				return
+			}
+			s.batchElems.Observe(int64(n))
+			outp := getByteBuf(4 * n)
+			defer putByteBuf(outp)
+			for i, y := range *dstp {
+				binary.LittleEndian.PutUint32((*outp)[4*i:], math.Float32bits(y))
+			}
+			reply(id, streamOK, 0, *outp)
+		}(id, rlibm.Func(fb), rlibm.Scheme(sb), bodyp)
+	}
+	wg.Wait()    // every accepted request has queued its response
+	close(respc) // writer drains the queue, flushes, and exits
+	<-writerDone
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

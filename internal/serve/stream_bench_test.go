@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+
+	"rlibm/internal/obs"
+	"rlibm/pkg/rlibm"
+)
+
+// benchConfig mirrors rlibm-bench's small-request server shape.
+func benchConfig() Config {
+	return Config{
+		MaxBatch:           1 << 20,
+		CoalesceMaxRequest: 4096,
+		CoalesceFlushElems: 1 << 13,
+		MaxPendingElems:    1 << 20,
+		Registry:           obs.NewRegistry(),
+	}
+}
+
+// BenchmarkStreamSmallRequests measures the coalesced streaming path under
+// the fleet traffic shape: many goroutines issuing small requests over a few
+// shared persistent connections. b.N counts requests.
+func BenchmarkStreamSmallRequests(b *testing.B) {
+	const elems = 64
+	const workers = 32
+	srv := New(benchConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeStream(ctx, ln) }()
+	defer func() { cancel(); <-done }()
+
+	scs := make([]*StreamClient, 4)
+	for i := range scs {
+		sc, err := DialStream(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		scs[i] = sc
+		defer sc.Close()
+	}
+
+	var wg sync.WaitGroup
+	per := b.N / workers
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := scs[w%len(scs)]
+			src := make([]float32, elems)
+			dst := make([]float32, elems)
+			for i := range src {
+				src[i] = float32(i)*0.5 - 16
+			}
+			for r := 0; r < per; r++ {
+				if err := sc.Eval(rlibm.FuncExp, rlibm.EstrinFMA, dst, src); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(per*workers*elems)/b.Elapsed().Seconds()/1e6, "Melem/s")
+}
+
+// BenchmarkHTTPSmallRequests is the HTTP-per-request baseline over the same
+// workload shape, keep-alive pool sized to the worker count.
+func BenchmarkHTTPSmallRequests(b *testing.B) {
+	const elems = 64
+	const workers = 32
+	srv := New(benchConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() { cancel(); <-done }()
+	base := "http://" + ln.Addr().String() + "/v1/evalbin/exp/rlibm-estrin-fma"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers,
+		MaxIdleConnsPerHost: workers,
+	}}
+
+	var wg sync.WaitGroup
+	per := b.N / workers
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			frame := make([]byte, 4*elems)
+			for i := 0; i < elems; i++ {
+				binary.LittleEndian.PutUint32(frame[4*i:], math.Float32bits(float32(i)*0.5-16))
+			}
+			for r := 0; r < per; r++ {
+				resp, err := client.Post(base, "application/octet-stream", bytes.NewReader(frame))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(per*workers*elems)/b.Elapsed().Seconds()/1e6, "Melem/s")
+}

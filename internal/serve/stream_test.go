@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rlibm/internal/obs"
+	"rlibm/pkg/rlibm"
+)
+
+// startStreamServer runs ServeStream on a loopback listener and returns its
+// address; the server and listener are torn down with the test.
+func startStreamServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	srv := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeStream(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("ServeStream did not return after cancel")
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// TestStreamRoundTrip: concurrent small Evals from many goroutines over ONE
+// connection — the coalescing-friendly shape — all bit-identical to direct
+// kernel calls, for every function and scheme and with specials included.
+func TestStreamRoundTrip(t *testing.T) {
+	_, addr := startStreamServer(t, Config{
+		CoalesceMaxRequest: 4096,
+		CoalesceFlushElems: 2048,
+		CoalesceMaxDelay:   time.Millisecond,
+	})
+	c, err := DialStream(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	specials := []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		0, float32(math.Copysign(0, -1)), math.Float32frombits(1), 1e-40,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for r := 0; r < 20; r++ {
+				f := rlibm.Funcs[(g+r)%rlibm.NumFuncs]
+				sch := rlibm.Schemes[r%rlibm.NumSchemes]
+				src := append([]float32{}, specials...)
+				for i := 0; i < 32; i++ {
+					src = append(src, math.Float32frombits(rng.Uint32()))
+				}
+				dst := make([]float32, len(src))
+				if err := c.Eval(f, sch, dst, src); err != nil {
+					t.Errorf("%v/%v: %v", f, sch, err)
+					return
+				}
+				k := rlibm.Kernel(f, sch)
+				for i, x := range src {
+					want := float32(k(float64(x)))
+					if math.Float32bits(dst[i]) != math.Float32bits(want) &&
+						!(isNaN32(dst[i]) && isNaN32(want)) {
+						t.Errorf("%v/%v(%x): got %x, want %x", f, sch,
+							math.Float32bits(x), math.Float32bits(dst[i]), math.Float32bits(want))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// rawFrame writes one hand-built request frame and reads frames until the
+// response with the wanted id arrives.
+func rawFrame(t *testing.T, conn net.Conn, id uint64, fb, sb byte, flags uint16, payload []byte) (status byte, detail uint16, body []byte) {
+	t.Helper()
+	frame := make([]byte, 4+streamHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(streamHdrLen+len(payload)))
+	binary.LittleEndian.PutUint64(frame[4:12], id)
+	frame[12], frame[13] = fb, sb
+	binary.LittleEndian.PutUint16(frame[14:16], flags)
+	copy(frame[16:], payload)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("writing frame: %v", err)
+	}
+	var hdr [4 + streamHdrLen]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatalf("reading response header: %v", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		gotID := binary.LittleEndian.Uint64(hdr[4:12])
+		body = make([]byte, length-streamHdrLen)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatalf("reading response body: %v", err)
+		}
+		if gotID == id {
+			return hdr[12], binary.LittleEndian.Uint16(hdr[14:16]), body
+		}
+	}
+}
+
+// TestStreamPerRequestErrors: unknown func/scheme codes, ragged payloads,
+// nonzero flags and over-limit batches are reported in-band against the
+// request id — and the connection stays usable afterwards.
+func TestStreamPerRequestErrors(t *testing.T) {
+	_, addr := startStreamServer(t, Config{
+		MaxBatch:           8,
+		CoalesceMaxRequest: -1,
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	cases := []struct {
+		name       string
+		fb, sb     byte
+		flags      uint16
+		payload    []byte
+		wantStatus byte
+	}{
+		{"unknown func", 99, 0, 0, make([]byte, 4), streamBadFunc},
+		{"unknown scheme", 0, 77, 0, make([]byte, 4), streamBadScheme},
+		{"ragged payload", 0, 0, 0, make([]byte, 3), streamBadFrame},
+		{"nonzero flags", 0, 0, 7, make([]byte, 4), streamBadFrame},
+		{"over limit", 0, 0, 0, make([]byte, 4*9), streamTooLarge},
+	}
+	for i, tc := range cases {
+		status, _, body := rawFrame(t, conn, uint64(100+i), tc.fb, tc.sb, tc.flags, tc.payload)
+		if status != tc.wantStatus {
+			t.Errorf("%s: status %d (%s), want %d", tc.name, status, body, tc.wantStatus)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s: error response has no message payload", tc.name)
+		}
+	}
+
+	// The connection survived five per-request errors: a good frame works.
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint32(payload[0:], math.Float32bits(1))
+	binary.LittleEndian.PutUint32(payload[4:], math.Float32bits(2))
+	status, _, body := rawFrame(t, conn, 999, byte(rlibm.FuncExp2), byte(rlibm.Horner), 0, payload)
+	if status != streamOK {
+		t.Fatalf("good frame after errors: status %d (%s)", status, body)
+	}
+	if len(body) != 8 {
+		t.Fatalf("result payload has %d bytes, want 8", len(body))
+	}
+	for i, x := range []float32{1, 2} {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		want := wantFor(t, "exp2", "rlibm", x)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Errorf("element %d: got %x, want %x", i, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+// TestStreamOverloadStatus: a full bounded queue surfaces as the stream
+// protocol's overloaded status (ErrOverloaded from the client), with some
+// requests still served — shed, not collapse. A hold inside the first sweep
+// pins the flusher so the burst deterministically fills the bounded queue.
+func TestStreamOverloadStatus(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, addr := startStreamServer(t, Config{
+		Registry:           reg,
+		CoalesceMaxRequest: 8,
+		MaxPendingElems:    16,
+	})
+	entered := make(chan struct{}, 1)
+	hold := make(chan struct{})
+	srv.coalescers[rlibm.FuncExp][rlibm.Horner].onFlush = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-hold
+	}
+	c, err := DialStream(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The priming request becomes the flusher and pins inside its sweep.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dst := make([]float32, 8)
+		if err := c.Eval(rlibm.FuncExp, rlibm.Horner, dst, make([]float32, 8)); err != nil {
+			t.Errorf("priming request failed: %v", err)
+		}
+	}()
+	<-entered
+
+	// Nine more 8-elem requests behind the pinned sweep: two fill the
+	// 16-element queue, the other seven must shed with ErrOverloaded.
+	const burst = 9
+	results := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dst := make([]float32, 8)
+			results[i] = c.Eval(rlibm.FuncExp, rlibm.Horner, dst, make([]float32, 8))
+		}(i)
+	}
+	// Sheds are answered immediately; wait for all seven before releasing
+	// the flusher so the queue is provably full the whole time.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counter("serve.shed_total") < burst-2 {
+		if time.Now().After(deadline) {
+			t.Fatal("sheds never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(hold)
+	wg.Wait()
+
+	var ok, shed int
+	for _, err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			shed++
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if ok != 2 {
+		t.Errorf("served burst requests = %d, want 2 (the queue holds exactly two)", ok)
+	}
+	if shed != burst-2 {
+		t.Errorf("shed burst requests = %d, want %d", shed, burst-2)
+	}
+	// Recovery: after the burst drains, requests flow again.
+	dst := make([]float32, 2)
+	if err := c.Eval(rlibm.FuncExp, rlibm.Horner, dst, []float32{1, 2}); err != nil {
+		t.Fatalf("post-burst request failed: %v", err)
+	}
+}
+
+// TestStreamDrain: cancelling the stream serve context lets in-flight
+// requests finish and flush their responses before ServeStream returns,
+// and the listener stops accepting.
+func TestStreamDrain(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	reg := obs.NewRegistry()
+	srv := New(Config{Registry: reg, DrainTimeout: 5 * time.Second, CoalesceMaxRequest: -1})
+	var once sync.Once
+	srv.onEval = func() {
+		once.Do(func() {
+			close(entered)
+			<-hold
+		})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeStream(ctx, ln) }()
+
+	c, err := DialStream(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	evalDone := make(chan error, 1)
+	go func() {
+		dst := make([]float32, 2)
+		evalDone <- c.Eval(rlibm.FuncExp, rlibm.Horner, dst, []float32{1, 2})
+	}()
+
+	<-entered // request is in flight
+	cancel()  // begin shutdown
+
+	select {
+	case <-serveDone:
+		t.Fatal("ServeStream returned while a request was in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(hold)
+	if err := <-evalDone; err != nil {
+		t.Fatalf("in-flight stream request failed during drain: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("ServeStream returned %v after drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeStream did not return after the drained request completed")
+	}
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Error("stream listener still accepting connections after shutdown")
+	}
+}
+
+// FuzzStreamFrame throws arbitrary bytes at a stream connection: the server
+// must never panic or hang, whatever the framing garbage — odd lengths,
+// empty frames, giant length claims, truncated payloads.
+func FuzzStreamFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, 16))                           // empty payload, id 0, exp/horner
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4}) // giant length claim
+	good := make([]byte, 4+streamHdrLen+8)
+	binary.LittleEndian.PutUint32(good[0:4], streamHdrLen+8)
+	binary.LittleEndian.PutUint64(good[4:12], 7)
+	f.Add(good)
+	atLimit := make([]byte, 4+streamHdrLen+4*16)
+	binary.LittleEndian.PutUint32(atLimit[0:4], streamHdrLen+4*16)
+	f.Add(atLimit)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(Config{
+			MaxBatch:           16,
+			CoalesceMaxRequest: -1,
+			Registry:           obs.NewRegistry(),
+			WriteTimeout:       time.Second,
+		})
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() { srv.serveStreamConn(server); close(done) }()
+		go io.Copy(io.Discard, client) // drain whatever the server replies
+		client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		client.Write(data)
+		client.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("serveStreamConn hung on garbage input")
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"rlibm/pkg/rlibm"
+)
+
+// StreamClient speaks the streaming binary protocol over one persistent
+// connection. It is safe for concurrent use: many goroutines can Eval at
+// once, their frames interleave on the wire, and a single reader goroutine
+// matches responses back by request id — which is exactly the traffic shape
+// that lets the server coalesce small requests into large sweeps. A writer
+// goroutine batches outgoing frames and flushes only when the queue goes
+// momentarily idle, so N concurrent Evals cost far fewer than N syscalls.
+// rlibm-bench and the end-to-end tests are the intended users.
+type StreamClient struct {
+	conn net.Conn
+
+	writec chan *[]byte  // outgoing frames, consumed by the writer goroutine
+	dead   chan struct{} // closed once the transport has failed
+
+	mu      sync.Mutex
+	pending map[uint64]*streamCall
+	err     error // sticky transport error, set once
+	nextID  atomic.Uint64
+}
+
+// streamCall is one in-flight request: the caller-owned destination and the
+// completion signal carrying the in-band or transport error.
+type streamCall struct {
+	dst  []float32
+	done chan error
+}
+
+// ErrOverloaded is returned by StreamClient.Eval when the server shed the
+// request (the stream analogue of HTTP 429); the caller should back off and
+// retry.
+var ErrOverloaded = errors.New("serve: server overloaded")
+
+// DialStream connects a StreamClient to a streaming-protocol listener.
+func DialStream(addr string) (*StreamClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamClient(conn), nil
+}
+
+// NewStreamClient wraps an established connection (tests use net.Pipe-like
+// loopback conns directly).
+func NewStreamClient(conn net.Conn) *StreamClient {
+	c := &StreamClient{
+		conn:    conn,
+		writec:  make(chan *[]byte, 256),
+		dead:    make(chan struct{}),
+		pending: map[uint64]*streamCall{},
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+// Eval evaluates f/sch over src into dst (dst must be at least as long as
+// src) through the shared connection, blocking until the response arrives.
+// Results are bit-identical to rlibm.EvalBatch. Returns ErrOverloaded on a
+// shed, a descriptive error for in-band rejections, and the transport error
+// if the connection died.
+func (c *StreamClient) Eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error {
+	if len(dst) < len(src) {
+		return errors.New("serve: stream Eval dst shorter than src")
+	}
+	id := c.nextID.Add(1)
+	call := &streamCall{dst: dst[:len(src)], done: make(chan error, 1)}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.pending[id] = call
+	c.mu.Unlock()
+
+	var hdr [4 + streamHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(streamHdrLen+4*len(src)))
+	binary.LittleEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = byte(f)
+	hdr[13] = byte(sch)
+	binary.LittleEndian.PutUint16(hdr[14:16], 0)
+	bufp := getByteBuf(0)
+	buf := append((*bufp)[:0], hdr[:]...)
+	for _, x := range src {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+	}
+	*bufp = buf
+
+	select {
+	case c.writec <- bufp:
+	case <-c.dead:
+		putByteBuf(bufp)
+		// The failure that closed dead also completed (or will complete)
+		// this registered call through fail().
+	}
+	return <-call.done
+}
+
+// writeLoop serializes queued frames onto the connection, flushing only when
+// the queue is momentarily empty — concurrent Evals share syscalls.
+func (c *StreamClient) writeLoop() {
+	bw := bufio.NewWriterSize(c.conn, streamBufSize)
+	for {
+		select {
+		case bufp := <-c.writec:
+			_, err := bw.Write(*bufp)
+			putByteBuf(bufp)
+			if err == nil && len(c.writec) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+// readLoop decodes response frames and completes the matching calls; on any
+// transport error it fails every pending and future call.
+func (c *StreamClient) readLoop() {
+	br := bufio.NewReaderSize(c.conn, streamBufSize)
+	for {
+		var hdr [4 + streamHdrLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			c.fail(err)
+			return
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		if length < streamHdrLen {
+			c.fail(fmt.Errorf("serve: stream response frame length %d below header size", length))
+			return
+		}
+		id := binary.LittleEndian.Uint64(hdr[4:12])
+		status := hdr[12]
+		detail := binary.LittleEndian.Uint16(hdr[14:16])
+		payloadLen := int(length) - streamHdrLen
+		bodyp := getByteBuf(payloadLen)
+		if _, err := io.ReadFull(br, *bodyp); err != nil {
+			putByteBuf(bodyp)
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if call == nil {
+			putByteBuf(bodyp)
+			continue // late response for an abandoned call
+		}
+		body := *bodyp
+		switch {
+		case status == streamOK && payloadLen == 4*len(call.dst):
+			for i := range call.dst {
+				call.dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+			}
+			call.done <- nil
+		case status == streamOK:
+			call.done <- fmt.Errorf("serve: stream response has %d bytes, want %d",
+				payloadLen, 4*len(call.dst))
+		case status == streamOverloaded:
+			call.done <- fmt.Errorf("%w (retry after %dms)", ErrOverloaded, detail)
+		default:
+			call.done <- fmt.Errorf("serve: stream status %d: %s", status, body)
+		}
+		putByteBuf(bodyp)
+	}
+}
+
+// fail marks the client dead and releases every waiter.
+func (c *StreamClient) fail(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		err = net.ErrClosed
+	}
+	c.mu.Lock()
+	first := c.err == nil
+	if first {
+		c.err = err
+	}
+	for id, call := range c.pending {
+		delete(c.pending, id)
+		call.done <- err
+	}
+	c.mu.Unlock()
+	if first {
+		close(c.dead)
+	}
+}
+
+// Close tears down the connection; pending and future Evals fail.
+func (c *StreamClient) Close() error {
+	return c.conn.Close()
+}
