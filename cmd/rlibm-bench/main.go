@@ -148,6 +148,8 @@ func main() {
 		smallReq = flag.Int("serve-small-requests", 400, "small requests per client for the many-small-requests workload (0 skips it)")
 		smallEl  = flag.Int("serve-small-elems", 64, "elements per small request")
 		replicas = flag.Int("serve-replicas", 2, "in-process server replicas for the round-robin fleet mode (<2 skips it)")
+		serveCan = flag.Float64("serve-canary", 0.002, "fraction of served elements the online correctness canary re-verifies against the oracle during -serve-bench (0 disables)")
+		serveMet = flag.String("serve-metricz", "", "write the -serve-bench server's metrics snapshot (the /metricz JSON shape) to this file")
 		outPath  = flag.String("out", "", "write a machine-readable JSON benchmark report to this file (\"auto\" = BENCH_<timestamp>.json)")
 		opts     = cliflags.Register(flag.CommandLine)
 	)
@@ -182,7 +184,8 @@ func main() {
 		return
 	}
 	if *serveB {
-		rep.Serve = benchServe(*serveCl, *serveReq, *serveBat, *rounds, *smallReq, *smallEl, *replicas, *seed)
+		rep.Serve = benchServe(*serveCl, *serveReq, *serveBat, *rounds, *smallReq, *smallEl, *replicas, *seed,
+			*serveCan, *serveMet, ro.Tracer)
 		if *outPath != "" {
 			writeReport(*outPath, rep)
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,14 @@ type serveBenchReport struct {
 	BatchNsPerElem  float64 `json:"batch_ns_per_elem"`
 	BatchSpeedupPct float64 `json:"batch_speedup_pct"`
 
+	// Online correctness canary totals for the load run (absent when the
+	// canary was disabled). CanaryMismatch must be zero: the canary re-checks
+	// a sample of what this bench actually served against the Ziv oracle.
+	CanaryChecked  int64 `json:"canary_checked,omitempty"`
+	CanaryMismatch int64 `json:"canary_mismatch,omitempty"`
+	CanaryDropped  int64 `json:"canary_dropped,omitempty"`
+	CanarySkipped  int64 `json:"canary_skipped,omitempty"`
+
 	// Small is the many-small-requests workload: the fleet traffic shape
 	// the coalescer and streaming protocol exist for.
 	Small *smallReqReport `json:"small_requests,omitempty"`
@@ -74,6 +84,12 @@ type smallReqReport struct {
 	StreamReqPerSec   float64 `json:"stream_req_per_sec"`
 	StreamMelemPerSec float64 `json:"stream_melem_per_sec"`
 	SpeedupX          float64 `json:"speedup_x"`
+
+	// PhaseMeanUs attributes mean request latency to the serving phases
+	// (decode, queue, sweep, encode), aggregated over every (func, scheme)
+	// combo both transports drove — the breakdown that says where a small
+	// request's time actually goes.
+	PhaseMeanUs map[string]float64 `json:"phase_mean_us,omitempty"`
 }
 
 // replicaBenchReport is the round-robin fleet mode: N in-process server
@@ -95,7 +111,8 @@ type replicaBenchReport struct {
 // drives clients concurrent HTTP clients round-robin over all func x scheme
 // combinations on the binary endpoint, and verifies every response element
 // bit-for-bit against a direct kernel call.
-func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElems, replicas int, seed int64) *serveBenchReport {
+func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElems, replicas int, seed int64,
+	canaryRate float64, metriczPath string, tracer *obs.Tracer) *serveBenchReport {
 	fmt.Printf("rlibm-bench -serve-bench: %d clients x %d requests, %d elems/request, seed %d\n",
 		clients, reqsPerClient, batchElems, seed)
 
@@ -103,10 +120,18 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 	if err != nil {
 		fatal(err)
 	}
+	reg := obs.NewRegistry()
 	srv := serve.New(serve.Config{
 		MaxBatch: batchElems,
-		Registry: obs.NewRegistry(),
+		Registry: reg,
 		Log:      obs.NewLogger(io.Discard, obs.LevelQuiet),
+		// With -trace the bench doubles as a tracing exerciser: every request
+		// emits its per-phase spans, so the trace artifact covers the full
+		// decode/queue/sweep/encode attribution for all 24 combos.
+		Tracer:       tracer,
+		TraceSample:  1,
+		CanarySample: canaryRate,
+		CanaryQueue:  1 << 14,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	serveErr := make(chan error, 1)
@@ -184,6 +209,7 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 	if err := <-serveErr; err != nil {
 		fatal(err)
 	}
+	srv.Close() // drain the canary so its totals below are final
 
 	var all []time.Duration
 	for _, lat := range latencies {
@@ -222,6 +248,28 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 	}
 	fmt.Println("  all responses bit-identical to direct kernel calls: ok")
 
+	obs.CaptureRuntime(reg)
+	snap := reg.Snapshot()
+	if canaryRate > 0 {
+		rep.CanaryChecked = snap.Counter("serve.canary.checked_total")
+		rep.CanaryMismatch = snap.Counter("serve.canary.mismatch_total")
+		rep.CanaryDropped = snap.Counter("serve.canary.dropped_total")
+		rep.CanarySkipped = snap.Counter("serve.canary.skipped_total")
+		fmt.Printf("  canary (1/%d elems): checked %d, mismatched %d, dropped %d, skipped %d\n",
+			int64(1/canaryRate+0.5), rep.CanaryChecked, rep.CanaryMismatch, rep.CanaryDropped, rep.CanarySkipped)
+		if rep.CanaryMismatch != 0 {
+			fmt.Fprintf(os.Stderr, "rlibm-bench: canary found %d served elements not matching the oracle\n", rep.CanaryMismatch)
+			os.Exit(1)
+		}
+		if rep.CanaryChecked == 0 {
+			fmt.Fprintln(os.Stderr, "rlibm-bench: canary enabled but checked nothing (queue drained away?)")
+			os.Exit(1)
+		}
+	}
+	if metriczPath != "" {
+		writeMetricz(metriczPath, snap)
+	}
+
 	if smallReqs > 0 {
 		rep.Small = benchSmallRequests(clients, smallReqs, smallElems, seed)
 	}
@@ -229,6 +277,48 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 		rep.Replicas = benchReplicas(replicas, clients*replicas, smallReqs, smallElems, seed)
 	}
 	return rep
+}
+
+// writeMetricz writes the load-run server's metrics snapshot in the /metricz
+// JSON shape (registry snapshot plus build identity) — the CI serve-smoke job
+// uploads it as an artifact and gates on the canary and phase-histogram
+// counters inside it.
+func writeMetricz(path string, snap obs.Snapshot) {
+	out := struct {
+		obs.Snapshot
+		BuildInfo obs.BuildIdentity `json:"build_info"`
+	}{Snapshot: snap, BuildInfo: obs.Build()}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// phaseMeans aggregates the per-(func,scheme) phase histograms in snap into
+// one mean per phase, in microseconds.
+func phaseMeans(snap obs.Snapshot) map[string]float64 {
+	sums := map[string]int64{}
+	counts := map[string]int64{}
+	for name, h := range snap.Histograms {
+		i := strings.Index(name, "/phase/")
+		if !strings.HasPrefix(name, "serve/") || i < 0 {
+			continue
+		}
+		phase := strings.TrimSuffix(name[i+len("/phase/"):], "_ns")
+		sums[phase] += h.Sum
+		counts[phase] += h.Count
+	}
+	out := map[string]float64{}
+	for phase, n := range counts {
+		if n > 0 {
+			out[phase] = float64(sums[phase]) / float64(n) / 1e3
+		}
+	}
+	return out
 }
 
 // benchDispatch times per-call scalar dispatch (Eval in a loop) against the
@@ -310,7 +400,9 @@ func benchSmallRequests(clients, reqsPerClient, elemsPerReq int, seed int64) *sm
 	fmt.Printf("  small requests: %d clients x %d requests, %d elems/request\n",
 		clients, reqsPerClient, elemsPerReq)
 
-	srv := serve.New(smallBenchConfig(elemsPerReq))
+	cfg := smallBenchConfig(elemsPerReq)
+	srv := serve.New(cfg)
+	defer srv.Close()
 	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -454,9 +546,14 @@ func benchSmallRequests(clients, reqsPerClient, elemsPerReq int, seed int64) *sm
 		StreamMelemPerSec: elems / streamElapsed.Seconds() / 1e6,
 	}
 	rep.SpeedupX = rep.StreamMelemPerSec / rep.HTTPMelemPerSec
+	rep.PhaseMeanUs = phaseMeans(cfg.Registry.Snapshot())
 	fmt.Printf("    http-per-request: %8.0f req/s  %6.2f Melem/s\n", rep.HTTPReqPerSec, rep.HTTPMelemPerSec)
 	fmt.Printf("    coalesced stream: %8.0f req/s  %6.2f Melem/s  (%.2fx)\n",
 		rep.StreamReqPerSec, rep.StreamMelemPerSec, rep.SpeedupX)
+	if pm := rep.PhaseMeanUs; len(pm) > 0 {
+		fmt.Printf("    phase breakdown (mean): decode %.1f us | queue %.1f us | sweep %.1f us | encode %.1f us\n",
+			pm["decode"], pm["queue"], pm["sweep"], pm["encode"])
+	}
 	if rep.Mismatches != 0 {
 		fmt.Fprintf(os.Stderr, "rlibm-bench: %d small-request responses not bit-identical\n", rep.Mismatches)
 		os.Exit(1)

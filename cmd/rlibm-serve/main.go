@@ -12,6 +12,7 @@
 //	            [-coalesce-delay 500us] [-max-pending 131072]
 //	            [-max-inflight N] [-stream-window 128]
 //	            [-read-timeout 10s] [-write-timeout 30s] [-drain-timeout 10s]
+//	            [-trace-sample 0.01] [-canary-sample 0.001] [-canary-queue 1024]
 //	            [-pprof] [-j 4] [-v|-q] [-trace trace.jsonl]
 //
 // Examples:
@@ -55,6 +56,9 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-request write timeout")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceSample  = flag.Float64("trace-sample", 0, "fraction of eval requests emitting per-phase trace spans (needs -trace; 0 disables, 1 traces all)")
+		canarySample = flag.Float64("canary-sample", 0, "fraction of served elements re-verified against the oracle in the background (0 disables the canary)")
+		canaryQueue  = flag.Int("canary-queue", 1024, "pending canary verifications before new samples are dropped")
 		opts         = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -85,8 +89,15 @@ func main() {
 		Log:                run.Log,
 		Registry:           obs.Default(),
 		Tracer:             run.Tracer,
+		TraceSample:        *traceSample,
+		CanarySample:       *canarySample,
+		CanaryQueue:        *canaryQueue,
+		CanaryStore:        run.Store,
 		EnablePprof:        *pprofFlag,
 	})
+	// Stop the canary (draining its queued verifications) before run.Close
+	// tears down the oracle store it verifies against — defers run LIFO.
+	defer srv.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -5,12 +5,20 @@ import (
 	"time"
 )
 
+// TraceHeader is the HTTP header carrying a request's TraceID in both
+// directions: clients may supply their own id (16 hex digits) and the server
+// echoes the effective id — supplied or ingress-assigned — on the response.
+const TraceHeader = "X-Trace-Id"
+
 // HTTPHandler wraps h with the request-level observability the serving layer
 // uses: a request counter ("<name>.requests"), an error counter
 // ("<name>.errors", any response with status >= 400), a latency histogram in
 // nanoseconds ("<name>.latency_ns"), and — when tr is non-nil — one trace
-// span per request carrying method, path and status. A nil registry falls
-// back to the process-wide Default registry.
+// span per request carrying method, path and status. Every request gets a
+// TraceID at ingress (the client's X-Trace-Id when parseable, else a fresh
+// one), carried on the request context for downstream layers, echoed on the
+// response header, and stamped on the span. A nil registry falls back to the
+// process-wide Default registry.
 func HTTPHandler(r *Registry, tr *Tracer, name string, h http.Handler) http.Handler {
 	if r == nil {
 		r = Default()
@@ -20,11 +28,18 @@ func HTTPHandler(r *Registry, tr *Tracer, name string, h http.Handler) http.Hand
 	latency := r.Histogram(name + ".latency_ns")
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		requests.Inc()
+		trace, ok := ParseTraceID(req.Header.Get(TraceHeader))
+		if !ok {
+			trace = NewTraceID()
+		}
+		w.Header().Set(TraceHeader, trace.String())
+		req = req.WithContext(WithTrace(req.Context(), trace))
 		var span *Span
 		if tr != nil {
 			span = tr.StartSpan("http."+name, Attrs{
 				"method": req.Method,
 				"path":   req.URL.Path,
+				"trace":  trace.String(),
 			})
 		}
 		sw := &statusWriter{ResponseWriter: w}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RollingWindow keeps the most recent observations (bounded by capacity and
+// age) and answers quantile queries over them. It complements Histogram: the
+// fixed log-2 histograms are cheap, lock-free and cumulative-forever — right
+// for Prometheus — but a human status page wants "p99 over the last minute",
+// which needs recency and better-than-power-of-two resolution. The window
+// trades a short mutex hold per Observe for exact quantiles over a bounded
+// sample.
+//
+// Observe never allocates after construction (the ring is preallocated), so
+// the serving fast path can record into it unconditionally.
+type RollingWindow struct {
+	mu   sync.Mutex
+	vals []int64 // ring buffer of observations
+	at   []int64 // monotonic-ish record times (UnixNano), parallel to vals
+	head int     // next write position
+	n    int     // occupied entries, <= len(vals)
+	age  time.Duration
+}
+
+// NewRollingWindow returns a window keeping up to capacity observations no
+// older than age (age <= 0 means "no age bound"). Capacity below 1 is
+// clamped to 1.
+func NewRollingWindow(capacity int, age time.Duration) *RollingWindow {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RollingWindow{
+		vals: make([]int64, capacity),
+		at:   make([]int64, capacity),
+		age:  age,
+	}
+}
+
+// Observe records one value, evicting the oldest when the ring is full.
+func (w *RollingWindow) Observe(v int64) {
+	now := time.Now().UnixNano()
+	w.mu.Lock()
+	w.vals[w.head] = v
+	w.at[w.head] = now
+	w.head = (w.head + 1) % len(w.vals)
+	if w.n < len(w.vals) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// ObserveDuration records d in nanoseconds.
+func (w *RollingWindow) ObserveDuration(d time.Duration) { w.Observe(int64(d)) }
+
+// Quantiles returns the requested quantiles (each in [0, 1]) over the
+// in-window observations, plus the live sample count. With no in-window
+// samples the quantiles are all zero and count is 0. The cost is one copy
+// and sort of at most capacity values — a status-page query, not a hot path.
+func (w *RollingWindow) Quantiles(qs ...float64) (out []int64, count int) {
+	cutoff := int64(0)
+	if w.age > 0 {
+		cutoff = time.Now().Add(-w.age).UnixNano()
+	}
+	w.mu.Lock()
+	live := make([]int64, 0, w.n)
+	for i := 0; i < w.n; i++ {
+		idx := (w.head - 1 - i + 2*len(w.vals)) % len(w.vals)
+		if w.at[idx] < cutoff {
+			break // entries are time-ordered newest-first from head-1
+		}
+		live = append(live, w.vals[idx])
+	}
+	w.mu.Unlock()
+
+	out = make([]int64, len(qs))
+	count = len(live)
+	if count == 0 {
+		return out, 0
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	for i, q := range qs {
+		switch {
+		case q <= 0:
+			out[i] = live[0]
+		case q >= 1:
+			out[i] = live[count-1]
+		default:
+			out[i] = live[int(q*float64(count-1)+0.5)]
+		}
+	}
+	return out, count
+}

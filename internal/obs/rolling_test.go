@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRollingWindowQuantilesExact(t *testing.T) {
+	w := NewRollingWindow(16, 0)
+	for v := int64(1); v <= 10; v++ {
+		w.Observe(v)
+	}
+	qs, n := w.Quantiles(0, 0.5, 1)
+	if n != 10 {
+		t.Fatalf("count = %d, want 10", n)
+	}
+	if qs[0] != 1 || qs[2] != 10 {
+		t.Errorf("min/max = %d/%d, want 1/10", qs[0], qs[2])
+	}
+	if qs[1] < 5 || qs[1] > 6 {
+		t.Errorf("p50 = %d, want 5 or 6", qs[1])
+	}
+}
+
+func TestRollingWindowEvictsOldestByCapacity(t *testing.T) {
+	w := NewRollingWindow(4, 0)
+	for v := int64(1); v <= 10; v++ {
+		w.Observe(v)
+	}
+	qs, n := w.Quantiles(0, 1)
+	if n != 4 {
+		t.Fatalf("count = %d, want capacity 4", n)
+	}
+	// Only the most recent four observations (7..10) remain.
+	if qs[0] != 7 || qs[1] != 10 {
+		t.Errorf("range = [%d, %d], want [7, 10]", qs[0], qs[1])
+	}
+}
+
+func TestRollingWindowAgeBound(t *testing.T) {
+	w := NewRollingWindow(16, 20*time.Millisecond)
+	w.Observe(111)
+	time.Sleep(40 * time.Millisecond)
+	w.Observe(222)
+	qs, n := w.Quantiles(0, 1)
+	if n != 1 {
+		t.Fatalf("count = %d, want only the in-window sample", n)
+	}
+	if qs[0] != 222 || qs[1] != 222 {
+		t.Errorf("quantiles = %v, want the fresh sample 222", qs)
+	}
+}
+
+func TestRollingWindowEmpty(t *testing.T) {
+	w := NewRollingWindow(8, time.Minute)
+	qs, n := w.Quantiles(0.5, 0.99)
+	if n != 0 || qs[0] != 0 || qs[1] != 0 {
+		t.Errorf("empty window: quantiles %v count %d, want zeros", qs, n)
+	}
+}
+
+func TestRollingWindowObserveDoesNotAllocate(t *testing.T) {
+	w := NewRollingWindow(256, time.Minute)
+	if avg := testing.AllocsPerRun(100, func() { w.Observe(7) }); avg != 0 {
+		t.Errorf("Observe allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Go runtime health metrics and build identity, exported as plain registry
+// instruments so they ride the same /metricz surface as the app metrics.
+// Runtime gauges are captured on demand (scrape time) rather than by a
+// background poller: a registry stays passive until something reads it, and
+// the ReadMemStats stop-the-world cost is paid only when a scraper asks.
+
+// CaptureRuntime samples the Go runtime into gauges on r:
+//
+//	runtime/goroutines        current goroutine count
+//	runtime/heap_alloc_bytes  live heap bytes (MemStats.HeapAlloc)
+//	runtime/heap_sys_bytes    heap address space obtained from the OS
+//	runtime/gc_cycles         completed GC cycles (NumGC)
+//	runtime/gc_last_pause_ns  most recent GC stop-the-world pause
+//
+// Call it just before Snapshot so the exported values are scrape-fresh. A
+// nil registry captures into Default().
+func CaptureRuntime(r *Registry) {
+	if r == nil {
+		r = Default()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime/goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("runtime/heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("runtime/heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("runtime/gc_cycles").Set(int64(ms.NumGC))
+	r.Gauge("runtime/gc_last_pause_ns").Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+}
+
+// BuildIdentity is the process's build provenance: what the run reports
+// stamp (git describe) plus the toolchain. The serving layer exposes it on
+// /healthz, /statusz and as a labelled build_info sample on /metricz so a
+// fleet dashboard can tell which binary answered.
+type BuildIdentity struct {
+	// Git is `git describe --always --dirty --tags` at startup when the
+	// process runs inside a work tree, else the main module version from the
+	// embedded build info, else "unknown".
+	Git string `json:"git"`
+	// GoVersion is runtime.Version().
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	buildOnce sync.Once
+	buildID   BuildIdentity
+)
+
+// Build returns the process's build identity. The git lookup shells out, so
+// the result is computed once and cached for the process lifetime.
+func Build() BuildIdentity {
+	buildOnce.Do(func() {
+		buildID.GoVersion = runtime.Version()
+		buildID.Git = GitDescribe()
+		if buildID.Git == "" {
+			if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+				buildID.Git = bi.Main.Version
+			}
+		}
+		if buildID.Git == "" {
+			buildID.Git = "unknown"
+		}
+	})
+	return buildID
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestCaptureRuntimeSetsGauges(t *testing.T) {
+	r := NewRegistry()
+	CaptureRuntime(r)
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"runtime/goroutines",
+		"runtime/heap_alloc_bytes",
+		"runtime/heap_sys_bytes",
+		"runtime/gc_cycles",
+		"runtime/gc_last_pause_ns",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %q missing after CaptureRuntime", name)
+		}
+	}
+	if snap.Gauge("runtime/goroutines") < 1 {
+		t.Errorf("runtime/goroutines = %d, want >= 1", snap.Gauge("runtime/goroutines"))
+	}
+	if snap.Gauge("runtime/heap_alloc_bytes") <= 0 {
+		t.Errorf("runtime/heap_alloc_bytes = %d, want > 0", snap.Gauge("runtime/heap_alloc_bytes"))
+	}
+}
+
+func TestBuildIdentity(t *testing.T) {
+	b := Build()
+	if b.Git == "" {
+		t.Error("Build().Git is empty, want a describe string or \"unknown\"")
+	}
+	if !strings.HasPrefix(b.GoVersion, "go") {
+		t.Errorf("Build().GoVersion = %q, want a go version string", b.GoVersion)
+	}
+	if again := Build(); again != b {
+		t.Errorf("Build() not stable: %+v then %+v", b, again)
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := TraceID(0xdeadbeef01)
+	got, ok := ParseTraceID(id.String())
+	if !ok || got != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v; want %v, true", id.String(), got, ok, id)
+	}
+	for _, bad := range []string{"", "zz", "00000000000000000", strings.Repeat("f", 17), "0"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted, want rejection", bad)
+		}
+	}
+}
+
+func TestNewTraceIDDistinctAndNonzero(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned the reserved zero id")
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID repeated %v within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceFrom(ctx); got != 0 {
+		t.Errorf("TraceFrom(empty ctx) = %v, want 0", got)
+	}
+	id := NewTraceID()
+	if got := TraceFrom(WithTrace(ctx, id)); got != id {
+		t.Errorf("TraceFrom(WithTrace) = %v, want %v", got, id)
+	}
+}

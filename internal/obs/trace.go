@@ -1,15 +1,81 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"math/rand"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Attrs carries the structured payload of one trace event. json.Marshal
 // sorts map keys, so lines are stable for a given payload.
 type Attrs map[string]any
+
+// TraceID identifies one request end to end: assigned at ingress (or
+// accepted from the client), threaded through handlers and the coalescer via
+// context.Context, echoed back to the client, and stamped on every child
+// span the request emits. Zero means "untraced".
+type TraceID uint64
+
+// String renders the id the way it travels in headers and trace lines:
+// 16 lowercase hex digits.
+func (id TraceID) String() string {
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// ParseTraceID accepts the hex form String emits (up to 16 hex digits).
+// Malformed or zero input yields (0, false) — ingress then assigns a fresh
+// id rather than failing the request over a bad correlation header.
+func ParseTraceID(s string) (TraceID, bool) {
+	if s == "" || len(s) > 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return TraceID(v), true
+}
+
+// traceIDState seeds NewTraceID: a per-process random base (so ids from
+// concurrent replicas don't collide) advanced by a Weyl-style odd increment
+// per id (so ids within a process never repeat).
+var traceIDState atomic.Uint64
+
+func init() {
+	traceIDState.Store(rand.Uint64() | 1)
+}
+
+// NewTraceID returns a fresh nonzero trace id. Safe for concurrent use and
+// cheap enough for every-request ingress assignment (one atomic add).
+func NewTraceID() TraceID {
+	for {
+		// The odd increment walks the full 2^64 ring; skip the zero value,
+		// which is reserved for "untraced".
+		if id := TraceID(traceIDState.Add(0x9e3779b97f4a7c15)); id != 0 {
+			return id
+		}
+	}
+}
+
+// traceCtxKey carries a TraceID through context.Context.
+type traceCtxKey struct{}
+
+// WithTrace returns ctx carrying id.
+func WithTrace(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, id)
+}
+
+// TraceFrom returns the TraceID carried by ctx, or 0 when ctx carries none.
+func TraceFrom(ctx context.Context) TraceID {
+	id, _ := ctx.Value(traceCtxKey{}).(TraceID)
+	return id
+}
 
 // Tracer writes span-style structured events as JSON Lines. Every method is
 // safe for concurrent use (one line per event, written under a mutex) and
@@ -90,6 +156,20 @@ func (s *Span) End(extra Attrs) {
 		attrs[k] = v
 	}
 	s.t.emit(s.name, attrs, time.Since(s.start))
+}
+
+// Dur emits a completed span whose duration was measured by the caller —
+// the shape the serving layer's phase attribution needs, where a phase's
+// start and end are observed at different layers (enqueue in the handler,
+// sweep inside the coalescer) and the span line is emitted after the fact.
+func (t *Tracer) Dur(name string, attrs Attrs, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.emit(name, attrs, dur)
 }
 
 // emit writes one line. dur < 0 means "not a span" (no dur_us field).

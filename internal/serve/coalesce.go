@@ -62,12 +62,22 @@ type coalescer struct {
 	flushing bool // a flusher goroutine is active for this accumulator
 }
 
+// sweepTiming is the flush's report back to each waiter: when the sweep's
+// EvalBatch began (which ends the waiter's queue phase) and how long it ran.
+// It travels over the waiter's completion channel so latency attribution
+// needs no shared request state between the flusher and the blocked caller.
+type sweepTiming struct {
+	start time.Time
+	dur   time.Duration
+}
+
 // coalesceWaiter is one queued request: its slice [off, off+n) of the
-// pending batch, the caller-owned destination, and the completion signal.
+// pending batch, the caller-owned destination, and the completion channel
+// (buffered, capacity 1 — the flusher never blocks on a waiter).
 type coalesceWaiter struct {
 	off, n int
 	out    []float32
-	done   chan struct{}
+	done   chan sweepTiming
 }
 
 func newCoalescer(f rlibm.Func, sch rlibm.Scheme, cfg Config, reg *obs.Registry) *coalescer {
@@ -88,9 +98,11 @@ func newCoalescer(f rlibm.Func, sch rlibm.Scheme, cfg Config, reg *obs.Registry)
 // has written this request's results into dst. Returns errOverloaded
 // (without queuing) when the pending queue cannot absorb src. If no flusher
 // is active the calling goroutine becomes the flusher, so an uncontended
-// request evaluates immediately with no handoff.
-func (c *coalescer) enqueue(dst, src []float32) error {
+// request evaluates immediately with no handoff. When rs is non-nil the
+// request's queue-wait and sweep durations are recorded into it.
+func (c *coalescer) enqueue(dst, src []float32, rs *reqState) error {
 	n := len(src)
+	enqueued := time.Now()
 	c.mu.Lock()
 	pending := 0
 	if c.srcp != nil {
@@ -106,7 +118,7 @@ func (c *coalescer) enqueue(dst, src []float32) error {
 	}
 	off := len(*c.srcp)
 	*c.srcp = append(*c.srcp, src...)
-	done := make(chan struct{})
+	done := make(chan sweepTiming, 1)
 	c.waiters = append(c.waiters, coalesceWaiter{off: off, n: n, out: dst, done: done})
 	c.queueElems.Add(int64(n))
 	if !c.flushing {
@@ -131,7 +143,16 @@ func (c *coalescer) enqueue(dst, src []float32) error {
 	} else {
 		c.mu.Unlock()
 	}
-	<-done
+	timing := <-done
+	if rs != nil {
+		// Queue-wait ends when this request's sweep started evaluating; the
+		// clamp covers the uncontended case where the enqueuer itself became
+		// the flusher and the two timestamps interleave.
+		if q := timing.start.Sub(enqueued); q > 0 {
+			rs.queue = q
+		}
+		rs.sweep = timing.dur
+	}
 	return nil
 }
 
@@ -226,14 +247,16 @@ func (c *coalescer) run(b coalesceBatch) {
 	}
 	src := *b.srcp
 	dstp := getBuf(len(src))
+	start := time.Now()
 	rlibm.EvalBatch(c.f, c.sch, *dstp, src)
+	timing := sweepTiming{start: start, dur: time.Since(start)}
 	c.flushes.Inc()
 	c.flushSize.Observe(int64(len(src)))
 	c.coalesced.Add(int64(len(b.waiters)))
 	c.queueElems.Add(-int64(len(src)))
 	for _, w := range b.waiters {
 		copy(w.out, (*dstp)[w.off:w.off+w.n])
-		close(w.done)
+		w.done <- timing // buffered; never blocks the flusher
 	}
 	putBuf(dstp)
 	putBuf(b.srcp)
@@ -241,11 +264,19 @@ func (c *coalescer) run(b coalesceBatch) {
 
 // eval is the single evaluation entry point behind every transport: small
 // requests coalesce into shared sweeps, large ones run directly under the
-// in-flight semaphore. The only error is errOverloaded (a shed).
-func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error {
+// in-flight semaphore. The only error is errOverloaded (a shed). When rs is
+// non-nil the queue-wait and sweep phases are attributed into it; on success
+// the canary (when enabled) samples elements of the served result for
+// background re-verification.
+func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, rs *reqState) error {
 	if n := len(src); n > 0 && n <= s.cfg.CoalesceMaxRequest {
-		return s.coalescers[f][sch].enqueue(dst, src)
+		if err := s.coalescers[f][sch].enqueue(dst, src, rs); err != nil {
+			return err
+		}
+		s.canary.offer(f, src, dst)
+		return nil
 	}
+	acquired := time.Now()
 	select {
 	case s.directSem <- struct{}{}:
 	default:
@@ -260,7 +291,15 @@ func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error 
 			return errOverloaded
 		}
 	}
-	defer func() { <-s.directSem }()
+	start := time.Now()
 	rlibm.EvalBatch(f, sch, dst, src)
+	if rs != nil {
+		// Direct path: queue-wait is the semaphore wait, sweep is the
+		// request's own EvalBatch.
+		rs.queue = start.Sub(acquired)
+		rs.sweep = time.Since(start)
+	}
+	<-s.directSem
+	s.canary.offer(f, src, dst)
 	return nil
 }

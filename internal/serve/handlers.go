@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"rlibm/internal/obs"
 	"rlibm/pkg/rlibm"
@@ -464,6 +465,9 @@ func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
 	if s.onEval != nil {
 		s.onEval()
 	}
+	var rs reqState
+	s.begin(&rs, obs.TraceFrom(r.Context()))
+	decodeStart := time.Now()
 	byteCeil := int64(s.cfg.MaxBatch)*jsonMaxBytesPerElem + 4096
 	hint := r.ContentLength
 	if hint > byteCeil {
@@ -491,14 +495,16 @@ func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	rs.decode = time.Since(decodeStart)
 	dstp := getBuf(len(*srcp))
 	defer putBuf(dstp)
-	if err := s.eval(f, sch, *dstp, *srcp); err != nil {
+	if err := s.eval(f, sch, *dstp, *srcp, &rs); err != nil {
 		s.writeOverloaded(w)
 		return
 	}
 	s.batchElems.Observe(int64(len(*srcp)))
 
+	encodeStart := time.Now()
 	bufp := getByteBuf(0)
 	defer putByteBuf(bufp)
 	*bufp = appendEvalResponse((*bufp)[:0], *dstp)
@@ -507,6 +513,8 @@ func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(*bufp); err != nil {
 		s.cfg.Log.Debugf("serve: json response write: %v", err)
 	}
+	rs.encode = time.Since(encodeStart)
+	s.observePhases(f, sch, "json", len(*srcp), &rs)
 }
 
 // readBodyPooled reads all of r into a pooled byte buffer (returned with
@@ -553,6 +561,9 @@ func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 	if s.onEval != nil {
 		s.onEval()
 	}
+	var rs reqState
+	s.begin(&rs, obs.TraceFrom(r.Context()))
+	decodeStart := time.Now()
 	limit := int64(s.cfg.MaxBatch) * 4
 	bodyp, err := readBodyPooled(http.MaxBytesReader(w, r.Body, limit), r.ContentLength)
 	if err != nil {
@@ -584,12 +595,14 @@ func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < n; i++ {
 		(*src)[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
 	}
-	if err := s.eval(f, sch, *dst, *src); err != nil {
+	rs.decode = time.Since(decodeStart)
+	if err := s.eval(f, sch, *dst, *src, &rs); err != nil {
 		s.writeOverloaded(w)
 		return
 	}
 	s.batchElems.Observe(int64(n))
 
+	encodeStart := time.Now()
 	outp := getByteBuf(4 * n)
 	defer putByteBuf(outp)
 	out := *outp
@@ -601,22 +614,36 @@ func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(out); err != nil {
 		s.cfg.Log.Debugf("serve: binary response write: %v", err)
 	}
+	rs.encode = time.Since(encodeStart)
+	s.observePhases(f, sch, "bin", n, &rs)
 }
 
+// handleHealthz is the liveness probe; the body carries the build identity
+// so a fleet health sweep can also confirm which binary is answering.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	b := obs.Build()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"git\":%q,\"go_version\":%q}\n", b.Git, b.GoVersion)
 }
 
 // handleMetricz exposes the obs registry: Prometheus text format by default
 // (scrapable by a stock Prometheus), the JSON snapshot with ?format=json or
 // an Accept: application/json header (what the run-report machinery reads).
+// Runtime gauges are captured scrape-fresh, and both formats carry the build
+// identity (a labelled build_info sample in the Prometheus text, a
+// build_info object in the JSON).
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	obs.CaptureRuntime(s.cfg.Registry)
 	snap := s.cfg.Registry.Snapshot()
+	b := obs.Build()
 	if r.URL.Query().Get("format") == "json" ||
 		strings.Contains(r.Header.Get("Accept"), "application/json") {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(snap); err != nil {
+		out := struct {
+			obs.Snapshot
+			BuildInfo obs.BuildIdentity `json:"build_info"`
+		}{Snapshot: snap, BuildInfo: b}
+		if err := json.NewEncoder(w).Encode(out); err != nil {
 			s.cfg.Log.Debugf("serve: metricz write: %v", err)
 		}
 		return
@@ -624,5 +651,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.PromContentType)
 	if err := snap.WritePrometheus(w); err != nil {
 		s.cfg.Log.Debugf("serve: metricz write: %v", err)
+		return
 	}
+	fmt.Fprintf(w, "# TYPE build_info gauge\nbuild_info{git=%q,goversion=%q} 1\n", b.Git, b.GoVersion)
 }

@@ -20,8 +20,10 @@
 //
 //	POST /v1/eval/{func}/{scheme}     JSON  {"x":[...]} -> {"y":[...]}
 //	POST /v1/evalbin/{func}/{scheme}  raw little-endian float32 frame in/out
-//	GET  /healthz                     liveness probe
+//	GET  /healthz                     liveness probe (reports build identity)
 //	GET  /metricz                     Prometheus text (JSON with ?format=json)
+//	GET  /statusz                     human-readable status page (latency,
+//	                                  shed rate, queue depth, canary health)
 //	GET  /debug/pprof/...             when Config.EnablePprof is set
 //
 // {func} is one of exp, exp2, exp10, log, log2, log10; {scheme} is a
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"rlibm/internal/obs"
+	"rlibm/internal/oracle"
 	"rlibm/pkg/rlibm"
 )
 
@@ -97,6 +100,25 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer, when non-nil, gets one span per eval request.
 	Tracer *obs.Tracer
+	// TraceSample is the fraction of eval requests that additionally emit
+	// per-phase child spans (serve.decode/queue/sweep/encode) to Tracer
+	// (0 disables phase spans; 1 traces every request). Sampling is a
+	// deterministic stride, so a rate of 0.01 traces exactly every 100th
+	// request with no per-request randomness.
+	TraceSample float64
+	// CanarySample is the fraction of served elements the online correctness
+	// canary re-verifies against the Ziv oracle in the background (0 disables
+	// the canary). Verification runs strictly off the request path: samples
+	// queue into a bounded channel and are dropped — never blocked on — when
+	// the verifier falls behind.
+	CanarySample float64
+	// CanaryQueue bounds the canary's pending verification queue (0 means
+	// 1024). Samples arriving while it is full are dropped and counted in
+	// serve.canary.dropped_total.
+	CanaryQueue int
+	// CanaryStore, when non-nil, backs the canary's oracle cache with the
+	// persistent store so repeated inputs skip the high-precision recompute.
+	CanaryStore *oracle.Store
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 }
@@ -129,6 +151,9 @@ func (c Config) withDefaults() Config {
 	if c.StreamWindow == 0 {
 		c.StreamWindow = 128
 	}
+	if c.CanaryQueue == 0 {
+		c.CanaryQueue = 1024
+	}
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = 10 * time.Second
 	}
@@ -155,11 +180,22 @@ type Server struct {
 	mux        *http.ServeMux
 	batchElems *obs.Histogram
 	shedTotal  *obs.Counter
+	started    time.Time
 
 	// coalescers holds one request accumulator per (func, scheme) pair;
 	// directSem bounds concurrent non-coalesced sweeps.
 	coalescers [rlibm.NumFuncs][rlibm.NumSchemes]*coalescer
 	directSem  chan struct{}
+
+	// Request-level observability (see obsreq.go): per-combo phase-latency
+	// instruments, the trace-sampling stride, and a total request counter.
+	phases       [rlibm.NumFuncs][rlibm.NumSchemes]*phaseSet
+	sampler      *sampler
+	evalRequests *obs.Counter
+
+	// canary re-verifies sampled served elements in the background
+	// (see canary.go); nil when CanarySample is 0.
+	canary *canary
 
 	// stream connection bookkeeping (see stream.go).
 	streamConns  *obs.Gauge
@@ -179,7 +215,10 @@ func New(cfg Config) *Server {
 		mux:          http.NewServeMux(),
 		batchElems:   cfg.Registry.Histogram("serve.batch_elems"),
 		shedTotal:    cfg.Registry.Counter("serve.shed_total"),
+		started:      time.Now(),
 		directSem:    make(chan struct{}, cfg.MaxInflightBatches),
+		sampler:      newSampler(cfg.TraceSample),
+		evalRequests: cfg.Registry.Counter("serve.eval.requests_total"),
 		streamConns:  cfg.Registry.Gauge("serve.stream.conns"),
 		streamFrames: cfg.Registry.Counter("serve.stream.frames"),
 		streamErrors: cfg.Registry.Counter("serve.stream.errors"),
@@ -190,7 +229,11 @@ func New(cfg Config) *Server {
 	for _, f := range rlibm.Funcs {
 		for _, sch := range rlibm.Schemes {
 			s.coalescers[f][sch] = newCoalescer(f, sch, s.cfg, cfg.Registry)
+			s.phases[f][sch] = newPhaseSet(f, sch, cfg.Registry)
 		}
+	}
+	if cfg.CanarySample > 0 {
+		s.canary = newCanary(s.cfg, cfg.Registry)
 	}
 	wrap := func(name string, h http.HandlerFunc) http.Handler {
 		return obs.HTTPHandler(cfg.Registry, cfg.Tracer, name, h)
@@ -199,6 +242,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/evalbin/{func}/{scheme}", wrap("serve.eval_bin", s.handleEvalBin))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -211,6 +255,15 @@ func New(cfg Config) *Server {
 
 // Handler returns the root handler with all routes and middleware installed.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close releases the Server's background resources: it stops the canary
+// worker after letting it drain its queued verifications. Safe to call more
+// than once; call it after the listeners have stopped.
+func (s *Server) Close() {
+	if s.canary != nil {
+		s.canary.stop()
+	}
+}
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts down
 // gracefully: the listener closes immediately, in-flight requests get up to

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"rlibm/internal/obs"
+	"rlibm/pkg/rlibm"
+)
+
+// handleStatusz renders the human-readable status page: build identity,
+// uptime, aggregate serving health (request/shed totals, queue depth, stream
+// connections), the canary's verdict, and a per-(func,scheme) table of
+// rolling-window p50/p99 end-to-end latency. /metricz is for machines;
+// /statusz is what a human hits first when a dashboard goes red, so it is
+// deliberately one flat plain-text page with no parameters.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	b := obs.Build()
+	fmt.Fprintf(w, "rlibm-serve status\n")
+	fmt.Fprintf(w, "build:   %s (%s)\n", b.Git, b.GoVersion)
+	fmt.Fprintf(w, "uptime:  %v\n\n", time.Since(s.started).Round(time.Second))
+
+	requests := s.evalRequests.Value()
+	shed := s.shedTotal.Value()
+	shedRate := 0.0
+	if requests+shed > 0 {
+		shedRate = float64(shed) / float64(requests+shed)
+	}
+	fmt.Fprintf(w, "eval requests served:  %d\n", requests)
+	fmt.Fprintf(w, "requests shed:         %d (%.2f%% of offered load)\n", shed, 100*shedRate)
+	fmt.Fprintf(w, "coalesce queue depth:  %d elems\n", s.cfg.Registry.Gauge("serve.coalesce.queue_elems").Value())
+	fmt.Fprintf(w, "stream connections:    %d\n\n", s.streamConns.Value())
+
+	if s.canary == nil {
+		fmt.Fprintf(w, "canary: disabled\n\n")
+	} else {
+		checked := s.canary.checked.Value()
+		mismatch := s.canary.mismatch.Value()
+		verdict := "OK"
+		if mismatch > 0 {
+			verdict = "ALARM"
+		} else if checked == 0 {
+			verdict = "no samples yet"
+		}
+		fmt.Fprintf(w, "canary: %s (1/%d elements)\n", verdict, s.canary.every)
+		fmt.Fprintf(w, "  checked %d, mismatched %d, dropped %d, skipped %d, queued %d\n\n",
+			checked, mismatch, s.canary.dropped.Value(), s.canary.skipped.Value(), len(s.canary.queue))
+	}
+
+	fmt.Fprintf(w, "end-to-end latency, rolling %v window (served requests only):\n", statuszAge)
+	fmt.Fprintf(w, "%-6s %-16s %10s %10s %8s\n", "func", "scheme", "p50", "p99", "samples")
+	for _, f := range rlibm.Funcs {
+		for _, sch := range rlibm.Schemes {
+			qs, n := s.phases[f][sch].e2e.Quantiles(0.50, 0.99)
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-6s %-16s %10v %10v %8d\n",
+				f, sch,
+				time.Duration(qs[0]).Round(time.Microsecond),
+				time.Duration(qs[1]).Round(time.Microsecond),
+				n)
+		}
+	}
+}

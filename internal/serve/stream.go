@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"rlibm/internal/obs"
 	"rlibm/pkg/rlibm"
 )
 
@@ -26,17 +27,25 @@ import (
 //	u64 id       client-chosen request id, echoed in the response
 //	u8  func     rlibm.Func code (0 exp, 1 exp2, 2 exp10, 3 log, 4 log2, 5 log10)
 //	u8  scheme   rlibm.Scheme code (0 horner, 1 knuth, 2 estrin, 3 estrin-fma)
-//	u16 flags    must be zero (reserved)
-//	payload      float32 inputs, 4 bytes each
+//	u16 flags    0, or streamFlagTraced; other bits are a bad frame
+//	payload      float32 inputs, 4 bytes each; a traced frame's payload is
+//	             prefixed with a u64 trace id before the inputs
 //
 // Response frame (server -> client):
 //
 //	u32 length   = 12 + payload bytes
 //	u64 id       echoed request id
 //	u8  status   see streamOK etc. below
-//	u8  reserved zero
+//	u8  traced   1 when the payload starts with the echoed u64 trace id
 //	u16 detail   status-specific: retry-after in ms for streamOverloaded
-//	payload      float32 results for streamOK, UTF-8 message otherwise
+//	payload      float32 results for streamOK, UTF-8 message otherwise;
+//	             prefixed with the u64 trace id when traced is 1
+//
+// Trace context propagates through the protocol the way X-Trace-Id does over
+// HTTP: a client sets streamFlagTraced and leads the payload with its trace
+// id (0 asks the server to assign one), and every response to that request —
+// success or in-band error — echoes the effective id back, so out-of-order
+// responses stay attributable to the request that caused them.
 //
 // Responses may arrive in any order; clients match them by id. Per-request
 // errors (unknown func, over-limit batch, shed) are reported in-band and
@@ -49,6 +58,11 @@ const (
 	streamHdrLen  = 12 // bytes after the length prefix, before the payload
 	streamMaxMsg  = 256
 	streamBufSize = 64 << 10
+
+	// streamFlagTraced marks a request whose payload leads with a u64 trace
+	// id; the matching responses echo it. All other flag bits stay reserved
+	// (a bad frame), so old clients and servers interoperate unchanged.
+	streamFlagTraced = 0x0001
 )
 
 // Response status codes.
@@ -61,15 +75,26 @@ const (
 	streamOverloaded = 5 // shed by a bounded queue (the HTTP 429)
 )
 
-// appendStreamResponse encodes a response frame onto buf.
-func appendStreamResponse(buf []byte, id uint64, status byte, detail uint16, payload []byte) []byte {
+// appendStreamResponse encodes a response frame onto buf. A nonzero trace
+// marks the response traced: the traced header byte is set and the payload
+// is prefixed with the echoed trace id.
+func appendStreamResponse(buf []byte, id uint64, status byte, trace obs.TraceID, detail uint16, payload []byte) []byte {
+	prefix := 0
+	if trace != 0 {
+		prefix = 8
+	}
 	var hdr [4 + streamHdrLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(streamHdrLen+len(payload)))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(streamHdrLen+prefix+len(payload)))
 	binary.LittleEndian.PutUint64(hdr[4:12], id)
 	hdr[12] = status
-	hdr[13] = 0
+	if trace != 0 {
+		hdr[13] = 1
+	}
 	binary.LittleEndian.PutUint16(hdr[14:16], detail)
 	buf = append(buf, hdr[:]...)
+	if trace != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(trace))
+	}
 	return append(buf, payload...)
 }
 
@@ -115,16 +140,16 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 		bw.Flush()
 	}()
 
-	reply := func(id uint64, status byte, detail uint16, payload []byte) {
+	reply := func(id uint64, status byte, trace obs.TraceID, detail uint16, payload []byte) {
 		bufp := getByteBuf(0)
-		*bufp = appendStreamResponse((*bufp)[:0], id, status, detail, payload)
+		*bufp = appendStreamResponse((*bufp)[:0], id, status, trace, detail, payload)
 		respc <- bufp
 	}
-	replyErr := func(id uint64, status byte, detail uint16, msg string) {
+	replyErr := func(id uint64, status byte, trace obs.TraceID, detail uint16, msg string) {
 		if len(msg) > streamMaxMsg {
 			msg = msg[:streamMaxMsg]
 		}
-		reply(id, status, detail, []byte(msg))
+		reply(id, status, trace, detail, []byte(msg))
 	}
 
 	sem := make(chan struct{}, s.cfg.StreamWindow)
@@ -144,14 +169,18 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 			break // framing is broken; byte sync is unrecoverable
 		}
 		payloadLen := int(length) - streamHdrLen
-		if payloadLen > maxPayload {
+		tracePrefix := 0
+		if flags&streamFlagTraced != 0 {
+			tracePrefix = 8
+		}
+		if payloadLen > maxPayload+tracePrefix {
 			// Too large is a per-request error: skip the declared payload to
 			// stay in sync, then report it against the request id.
 			if _, err := io.CopyN(io.Discard, br, int64(payloadLen)); err != nil {
 				break
 			}
 			s.streamFrames.Inc()
-			replyErr(id, streamTooLarge, 0,
+			replyErr(id, streamTooLarge, 0, 0,
 				fmt.Sprintf("batch exceeds limit of %d elements", s.cfg.MaxBatch))
 			continue
 		}
@@ -162,34 +191,50 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 		}
 		s.streamFrames.Inc()
 		switch {
-		case flags != 0:
+		case flags&^uint16(streamFlagTraced) != 0:
 			putByteBuf(bodyp)
-			replyErr(id, streamBadFrame, 0, "nonzero flags")
+			replyErr(id, streamBadFrame, 0, 0, "nonzero flags")
 			continue
-		case payloadLen%4 != 0:
+		case payloadLen < tracePrefix:
 			putByteBuf(bodyp)
-			replyErr(id, streamBadFrame, 0,
-				fmt.Sprintf("payload length %d is not a multiple of 4", payloadLen))
+			replyErr(id, streamBadFrame, 0, 0, "traced frame payload shorter than the trace id")
+			continue
+		case (payloadLen-tracePrefix)%4 != 0:
+			putByteBuf(bodyp)
+			replyErr(id, streamBadFrame, 0, 0,
+				fmt.Sprintf("payload length %d is not a multiple of 4", payloadLen-tracePrefix))
 			continue
 		case fb >= rlibm.NumFuncs:
 			putByteBuf(bodyp)
-			replyErr(id, streamBadFunc, 0, fmt.Sprintf("unknown function code %d", fb))
+			replyErr(id, streamBadFunc, 0, 0, fmt.Sprintf("unknown function code %d", fb))
 			continue
 		case sb >= rlibm.NumSchemes:
 			putByteBuf(bodyp)
-			replyErr(id, streamBadScheme, 0, fmt.Sprintf("unknown scheme code %d", sb))
+			replyErr(id, streamBadScheme, 0, 0, fmt.Sprintf("unknown scheme code %d", sb))
 			continue
+		}
+		var trace obs.TraceID
+		if tracePrefix > 0 {
+			// An explicit zero id asks the server to assign one, mirroring
+			// HTTP ingress when no X-Trace-Id header parses.
+			trace = obs.TraceID(binary.LittleEndian.Uint64((*bodyp)[:8]))
+			if trace == 0 {
+				trace = obs.NewTraceID()
+			}
 		}
 		if s.onEval != nil {
 			s.onEval()
 		}
 		sem <- struct{}{} // in-flight window: stop reading when full
 		wg.Add(1)
-		go func(id uint64, f rlibm.Func, sch rlibm.Scheme, bodyp *[]byte) {
+		go func(id uint64, f rlibm.Func, sch rlibm.Scheme, bodyp *[]byte, trace obs.TraceID, tracePrefix int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			defer putByteBuf(bodyp)
-			body := *bodyp
+			var rs reqState
+			s.begin(&rs, trace)
+			decodeStart := time.Now()
+			body := (*bodyp)[tracePrefix:]
 			n := len(body) / 4
 			srcp, dstp := getBuf(n), getBuf(n)
 			defer putBuf(srcp)
@@ -197,19 +242,23 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 			for i := 0; i < n; i++ {
 				(*srcp)[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
 			}
-			if err := s.eval(f, sch, *dstp, *srcp); err != nil {
-				replyErr(id, streamOverloaded, uint16(min64(s.retryAfterMs(), 1<<16-1)),
+			rs.decode = time.Since(decodeStart)
+			if err := s.eval(f, sch, *dstp, *srcp, &rs); err != nil {
+				replyErr(id, streamOverloaded, trace, uint16(min64(s.retryAfterMs(), 1<<16-1)),
 					"server overloaded: request shed by bounded queue")
 				return
 			}
 			s.batchElems.Observe(int64(n))
+			encodeStart := time.Now()
 			outp := getByteBuf(4 * n)
 			defer putByteBuf(outp)
 			for i, y := range *dstp {
 				binary.LittleEndian.PutUint32((*outp)[4*i:], math.Float32bits(y))
 			}
-			reply(id, streamOK, 0, *outp)
-		}(id, rlibm.Func(fb), rlibm.Scheme(sb), bodyp)
+			reply(id, streamOK, trace, 0, *outp)
+			rs.encode = time.Since(encodeStart)
+			s.observePhases(f, sch, "stream", n, &rs)
+		}(id, rlibm.Func(fb), rlibm.Scheme(sb), bodyp, trace, tracePrefix)
 	}
 	wg.Wait()    // every accepted request has queued its response
 	close(respc) // writer drains the queue, flushes, and exits

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rlibm/internal/obs"
 	"rlibm/pkg/rlibm"
 )
 
@@ -34,11 +36,13 @@ type StreamClient struct {
 	nextID  atomic.Uint64
 }
 
-// streamCall is one in-flight request: the caller-owned destination and the
-// completion signal carrying the in-band or transport error.
+// streamCall is one in-flight request: the caller-owned destination, the
+// trace id a traced request expects echoed back, and the completion signal
+// carrying the in-band or transport error.
 type streamCall struct {
-	dst  []float32
-	done chan error
+	dst   []float32
+	trace obs.TraceID
+	done  chan error
 }
 
 // ErrOverloaded is returned by StreamClient.Eval when the server shed the
@@ -75,11 +79,28 @@ func NewStreamClient(conn net.Conn) *StreamClient {
 // shed, a descriptive error for in-band rejections, and the transport error
 // if the connection died.
 func (c *StreamClient) Eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error {
+	return c.eval(f, sch, dst, src, 0)
+}
+
+// EvalCtx is Eval carrying the trace context from ctx: when ctx holds a
+// TraceID (see obs.WithTrace) the request frame is marked traced, the id
+// rides ahead of the inputs, and the response's echoed id is verified before
+// the call completes — even when responses arrive out of order.
+func (c *StreamClient) EvalCtx(ctx context.Context, f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error {
+	return c.eval(f, sch, dst, src, obs.TraceFrom(ctx))
+}
+
+// EvalTraced is Eval with an explicit trace id (0 means untraced).
+func (c *StreamClient) EvalTraced(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, trace obs.TraceID) error {
+	return c.eval(f, sch, dst, src, trace)
+}
+
+func (c *StreamClient) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, trace obs.TraceID) error {
 	if len(dst) < len(src) {
 		return errors.New("serve: stream Eval dst shorter than src")
 	}
 	id := c.nextID.Add(1)
-	call := &streamCall{dst: dst[:len(src)], done: make(chan error, 1)}
+	call := &streamCall{dst: dst[:len(src)], trace: trace, done: make(chan error, 1)}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -89,14 +110,23 @@ func (c *StreamClient) Eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) 
 	c.pending[id] = call
 	c.mu.Unlock()
 
+	var flags uint16
+	tracePrefix := 0
+	if trace != 0 {
+		flags = streamFlagTraced
+		tracePrefix = 8
+	}
 	var hdr [4 + streamHdrLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(streamHdrLen+4*len(src)))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(streamHdrLen+tracePrefix+4*len(src)))
 	binary.LittleEndian.PutUint64(hdr[4:12], id)
 	hdr[12] = byte(f)
 	hdr[13] = byte(sch)
-	binary.LittleEndian.PutUint16(hdr[14:16], 0)
+	binary.LittleEndian.PutUint16(hdr[14:16], flags)
 	bufp := getByteBuf(0)
 	buf := append((*bufp)[:0], hdr[:]...)
+	if trace != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(trace))
+	}
 	for _, x := range src {
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
 	}
@@ -151,6 +181,7 @@ func (c *StreamClient) readLoop() {
 		}
 		id := binary.LittleEndian.Uint64(hdr[4:12])
 		status := hdr[12]
+		traced := hdr[13] == 1
 		detail := binary.LittleEndian.Uint16(hdr[14:16])
 		payloadLen := int(length) - streamHdrLen
 		bodyp := getByteBuf(payloadLen)
@@ -168,6 +199,28 @@ func (c *StreamClient) readLoop() {
 			continue // late response for an abandoned call
 		}
 		body := *bodyp
+		if traced {
+			// Strip and verify the echoed trace id: a mismatch means the
+			// response was matched to the wrong request, which would silently
+			// hand a caller someone else's results.
+			if payloadLen < 8 {
+				call.done <- fmt.Errorf("serve: traced stream response payload too short (%d bytes)", payloadLen)
+				putByteBuf(bodyp)
+				continue
+			}
+			echo := obs.TraceID(binary.LittleEndian.Uint64(body[:8]))
+			body = body[8:]
+			payloadLen -= 8
+			if call.trace != 0 && echo != call.trace {
+				call.done <- fmt.Errorf("serve: stream response echoed trace %v, want %v", echo, call.trace)
+				putByteBuf(bodyp)
+				continue
+			}
+		} else if call.trace != 0 && status == streamOK {
+			call.done <- fmt.Errorf("serve: stream response to traced request %v lacks the trace echo", call.trace)
+			putByteBuf(bodyp)
+			continue
+		}
 		switch {
 		case status == streamOK && payloadLen == 4*len(call.dst):
 			for i := range call.dst {
