@@ -50,6 +50,18 @@ type serveBenchReport struct {
 	BatchNsPerElem  float64 `json:"batch_ns_per_elem"`
 	BatchSpeedupPct float64 `json:"batch_speedup_pct"`
 
+	// MixedPrecision is the progressive-polynomial section: per-element sweep
+	// cost at each output precision (the narrow rows run the prefix kernels,
+	// which evaluate fewer polynomial terms), plus bit-exact verification of
+	// the serving layer's ?prec= path against the matching Evaluator. CI
+	// gates the bf16 row at <= 0.75x the float32 ns/elem against
+	// ci/prog-baseline.json. MixedCanary holds the online canary totals for
+	// that pass (absent when the canary was disabled): the canary re-checked
+	// a sample of the served narrow-precision elements against the Ziv
+	// oracle at their own output formats, and Mismatch must be zero.
+	MixedPrecision []precBenchReport `json:"mixed_precision,omitempty"`
+	MixedCanary    *canaryTotals     `json:"mixed_precision_canary,omitempty"`
+
 	// Online correctness canary totals for the load run (absent when the
 	// canary was disabled). CanaryMismatch must be zero: the canary re-checks
 	// a sample of what this bench actually served against the Ziv oracle.
@@ -190,7 +202,7 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 				if len(body) != 4*len(src) {
 					fatal(fmt.Errorf("%s: response has %d bytes, want %d", url, len(body), 4*len(src)))
 				}
-				k := rlibm.Kernel(cb.f, cb.s)
+				k := kernelFor(cb.f, cb.s)
 				for i, x := range src {
 					got := math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
 					want := float32(k(float64(x)))
@@ -236,6 +248,7 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 	}
 	rep.ScalarNsPerElem, rep.BatchNsPerElem = benchDispatch(batchElems, rounds, seed)
 	rep.BatchSpeedupPct = (rep.ScalarNsPerElem/rep.BatchNsPerElem - 1) * 100
+	rep.MixedPrecision, rep.MixedCanary = benchPrecisions(batchElems, rounds, seed, canaryRate)
 
 	fmt.Printf("  %d requests (%d elems) in %v: %.0f req/s, %.1f Melem/s\n",
 		rep.Requests, rep.Elems, elapsed.Round(time.Millisecond), rep.ReqPerSec, rep.MelemPerSec)
@@ -321,6 +334,17 @@ func phaseMeans(snap obs.Snapshot) map[string]float64 {
 	return out
 }
 
+// kernelFor resolves the full-precision reference kernel through the
+// Evaluator API (the package-level Kernel is deprecated); combos are always
+// valid here, so a constructor error is a bench bug.
+func kernelFor(f rlibm.Func, s rlibm.Scheme) func(float64) float64 {
+	ev, err := rlibm.New(f, s)
+	if err != nil {
+		fatal(err)
+	}
+	return ev.Kernel()
+}
+
 // benchDispatch times per-call scalar dispatch (Eval in a loop) against the
 // batch entry point (EvalBatch) over identical sweeps, best of rounds,
 // averaged across all six functions with the Estrin+FMA scheme. Per-element
@@ -331,19 +355,23 @@ func benchDispatch(n, rounds int, seed int64) (scalarNs, batchNs float64) {
 	rng := rand.New(rand.NewSource(seed))
 	var sink float32
 	for _, f := range rlibm.Funcs {
+		ev, err := rlibm.New(f, rlibm.EstrinFMA)
+		if err != nil {
+			fatal(err)
+		}
 		fillSweep32(src, f, rng)
 		bestScalar, bestBatch := math.Inf(1), math.Inf(1)
 		for r := 0; r < rounds; r++ {
 			t0 := time.Now()
 			for i, x := range src {
-				dst[i] = rlibm.Eval(f, rlibm.EstrinFMA, x)
+				dst[i] = ev.Eval(x)
 			}
 			if ns := time.Since(t0).Seconds() * 1e9 / float64(n); ns < bestScalar {
 				bestScalar = ns
 			}
 			sink += dst[0]
 			t0 = time.Now()
-			rlibm.EvalBatch(f, rlibm.EstrinFMA, dst, src)
+			ev.EvalBatch(dst, src)
 			if ns := time.Since(t0).Seconds() * 1e9 / float64(n); ns < bestBatch {
 				bestBatch = ns
 			}
@@ -356,6 +384,162 @@ func benchDispatch(n, rounds int, seed int64) (scalarNs, batchNs float64) {
 		fmt.Fprint(os.Stderr, "")
 	}
 	return scalarNs / float64(len(rlibm.Funcs)), batchNs / float64(len(rlibm.Funcs))
+}
+
+// precBenchReport is one row of the mixed-precision section: the per-element
+// cost of a full sweep at one output precision, its speedup over the full-
+// precision row, and the served-path bit-exactness check at that precision.
+type precBenchReport struct {
+	Prec          string  `json:"prec"`
+	NsPerElem     float64 `json:"ns_per_elem"`
+	SpeedupVsFull float64 `json:"speedup_vs_full_x"`
+	Mismatches    int64   `json:"mismatches"`
+}
+
+// canaryTotals is an online-canary summary for one load pass.
+type canaryTotals struct {
+	Checked  int64 `json:"checked"`
+	Mismatch int64 `json:"mismatch"`
+	Dropped  int64 `json:"dropped"`
+	Skipped  int64 `json:"skipped"`
+}
+
+// benchPrecisions times EvalBatch at every output precision (best of
+// rounds, averaged across the six functions, Estrin+FMA scheme) and
+// verifies one served /v1/evalbin?prec= response per function and precision
+// bit for bit against the matching Evaluator. Each row serves its own
+// format's traffic: the narrow rows draw the same sweeps truncated to the
+// narrow format's representable inputs — the domain the narrow
+// correct-rounding guarantee covers, and the shape real mixed-precision
+// traffic has. tf32 runs the progressive prefix kernels (the coefficient
+// table truncated to the verified prefix degree); bf16 additionally hits
+// the memo-table fast path over its 2^16-point input space, which is where
+// the per-element serving speedup comes from.
+func benchPrecisions(n, rounds int, seed int64, canaryRate float64) ([]precBenchReport, *canaryTotals) {
+	fmt.Printf("  mixed precision: %d elems/sweep, best of %d rounds\n", n, rounds)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		MaxBatch:     n,
+		Registry:     reg,
+		Log:          obs.NewLogger(io.Discard, obs.LevelQuiet),
+		CanarySample: canaryRate,
+		CanaryQueue:  1 << 14,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, ln) }()
+	shutdown := func() {
+		cancel()
+		if err := <-serveErr; err != nil {
+			fatal(err)
+		}
+		srv.Close() // drain the canary so its totals are final
+	}
+	base := "http://" + ln.Addr().String()
+
+	src := make([]float32, n)
+	dst := make([]float32, n)
+	frame := make([]byte, 4*n)
+	var sink float32
+	out := make([]precBenchReport, 0, rlibm.NumPrecisions)
+	for _, p := range rlibm.Precisions {
+		var nsSum float64
+		var mism int64
+		rng := rand.New(rand.NewSource(seed)) // identical sweeps per precision
+		for _, f := range rlibm.Funcs {
+			ev, err := rlibm.New(f, rlibm.EstrinFMA, rlibm.WithPrecision(p))
+			if err != nil {
+				fatal(err)
+			}
+			fillSweep32(src, f, rng)
+			if mask := precInputMask(p); mask != 0 {
+				for i, x := range src {
+					src[i] = math.Float32frombits(math.Float32bits(x) &^ mask)
+				}
+			}
+			best := math.Inf(1)
+			for r := 0; r < rounds; r++ {
+				t0 := time.Now()
+				ev.EvalBatch(dst, src)
+				if ns := time.Since(t0).Seconds() * 1e9 / float64(n); ns < best {
+					best = ns
+				}
+				sink += dst[0]
+			}
+			nsSum += best
+
+			for i, x := range src {
+				binary.LittleEndian.PutUint32(frame[4*i:], math.Float32bits(x))
+			}
+			url := fmt.Sprintf("%s/v1/evalbin/%v/%v?prec=%v", base, f, rlibm.EstrinFMA, p)
+			resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(frame))
+			if err != nil {
+				fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				fatal(fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, body))
+			}
+			for i := range src {
+				got := binary.LittleEndian.Uint32(body[4*i:])
+				if got != math.Float32bits(dst[i]) {
+					mism++
+				}
+			}
+		}
+		out = append(out, precBenchReport{
+			Prec:       p.String(),
+			NsPerElem:  nsSum / float64(len(rlibm.Funcs)),
+			Mismatches: mism,
+		})
+	}
+	if sink == 42 { // defeat dead-code elimination
+		fmt.Fprint(os.Stderr, "")
+	}
+	var total int64
+	for i := range out {
+		out[i].SpeedupVsFull = out[0].NsPerElem / out[i].NsPerElem
+		total += out[i].Mismatches
+		fmt.Printf("    %-8s %6.2f ns/elem  (%.2fx vs float32)\n",
+			out[i].Prec, out[i].NsPerElem, out[i].SpeedupVsFull)
+	}
+	if total != 0 {
+		fmt.Fprintf(os.Stderr, "rlibm-bench: %d served ?prec= elements not bit-identical to the Evaluator\n", total)
+		os.Exit(1)
+	}
+	fmt.Println("    all served ?prec= responses bit-identical to the Evaluator: ok")
+
+	shutdown()
+	var canary *canaryTotals
+	if canaryRate > 0 {
+		snap := reg.Snapshot()
+		canary = &canaryTotals{
+			Checked:  snap.Counter("serve.canary.checked_total"),
+			Mismatch: snap.Counter("serve.canary.mismatch_total"),
+			Dropped:  snap.Counter("serve.canary.dropped_total"),
+			Skipped:  snap.Counter("serve.canary.skipped_total"),
+		}
+		fmt.Printf("    mixed-precision canary: checked %d, mismatched %d, dropped %d, skipped %d\n",
+			canary.Checked, canary.Mismatch, canary.Dropped, canary.Skipped)
+		if canary.Mismatch != 0 {
+			fmt.Fprintf(os.Stderr, "rlibm-bench: mixed-precision canary found %d served elements not matching the oracle\n", canary.Mismatch)
+			os.Exit(1)
+		}
+		if canary.Checked == 0 {
+			fmt.Fprintln(os.Stderr, "rlibm-bench: mixed-precision canary enabled but checked nothing")
+			os.Exit(1)
+		}
+	}
+	return out, canary
 }
 
 // benchCombos is the round-robin order of all 24 func x scheme pairs.
@@ -455,7 +639,7 @@ func benchSmallRequests(clients, reqsPerClient, elemsPerReq int, seed int64) *sm
 			for r := 0; r < reqsPerClient; r++ {
 				cb := combos[(c+r)%len(combos)]
 				fillSweep32(src, cb.f, rng)
-				k := rlibm.Kernel(cb.f, cb.s)
+				k := kernelFor(cb.f, cb.s)
 				got := results[c][r*elemsPerReq : (r+1)*elemsPerReq]
 				for i, x := range src {
 					if math.Float32bits(got[i]) != math.Float32bits(float32(k(float64(x)))) {
@@ -612,7 +796,7 @@ func benchReplicas(replicas, clients, reqsPerClient, elemsPerReq int, seed int64
 				if err := sc.Eval(cb.f, cb.s, dst, src); err != nil {
 					fatal(err)
 				}
-				k := rlibm.Kernel(cb.f, cb.s)
+				k := kernelFor(cb.f, cb.s)
 				for i, x := range src {
 					if math.Float32bits(dst[i]) != math.Float32bits(float32(k(float64(x)))) {
 						mismatches.Add(1)
@@ -643,6 +827,19 @@ func benchReplicas(replicas, clients, reqsPerClient, elemsPerReq int, seed int64
 	}
 	fmt.Println("    all replica responses bit-identical: ok")
 	return rep
+}
+
+// precInputMask is the float32 significand mask that truncates an input
+// onto the precision's representable grid (0 for full precision: every
+// float32 is its own input).
+func precInputMask(p rlibm.Precision) uint32 {
+	switch p {
+	case rlibm.PrecTF32:
+		return 1<<13 - 1
+	case rlibm.PrecBfloat16:
+		return 1<<16 - 1
+	}
+	return 0
 }
 
 // fillSweep32 draws float32 inputs from the function's polynomial-path

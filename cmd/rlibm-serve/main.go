@@ -70,8 +70,10 @@ func main() {
 	defer run.Close()
 
 	// One parallelism budget: -j caps both request handling fan-out inside a
-	// batch call and anything else pkg/rlibm parallelizes.
-	rlibm.SetMaxBatchWorkers(opts.Workers)
+	// batch call and anything else pkg/rlibm parallelizes. WorkerCount
+	// resolves the flag's 0-means-GOMAXPROCS convention; SetMaxBatchWorkers
+	// itself rejects non-positive caps.
+	rlibm.SetMaxBatchWorkers(opts.WorkerCount())
 
 	srv := serve.New(serve.Config{
 		Addr:               *addr,

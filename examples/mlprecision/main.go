@@ -28,6 +28,7 @@ import (
 	"rlibm/internal/fp"
 	"rlibm/internal/libm"
 	"rlibm/internal/oracle"
+	"rlibm/pkg/rlibm"
 )
 
 func main() {
@@ -78,6 +79,34 @@ func main() {
 		fmt.Println("  none in this sweep — double rounding failures are rare but real;")
 		fmt.Println("  see examples/allformats for a constructed one.")
 	}
+
+	// Progressive prefixes: the public API serves narrow formats directly.
+	// A precision-aware Evaluator evaluates only the polynomial prefix whose
+	// degree suffices for the requested format — the bfloat16 path runs a
+	// degree-1 or degree-2 prefix of the same coefficient table the float32
+	// path uses in full, so narrow traffic is cheaper per element while every
+	// result is still the correctly rounded value of its format.
+	fmt.Println("\nprogressive prefixes via pkg/rlibm (one table, three formats):")
+	fmt.Printf("  %-10s %-14s %-14s %-14s\n", "x", "float32", "tf32", "bf16")
+	precs := []rlibm.Precision{rlibm.PrecFloat32, rlibm.PrecTF32, rlibm.PrecBfloat16}
+	evs := make([]*rlibm.Evaluator, len(precs))
+	for i, p := range precs {
+		ev, err := rlibm.New(rlibm.FuncExp, rlibm.EstrinFMA, rlibm.WithPrecision(p))
+		if err != nil {
+			fmt.Println("  error:", err)
+			return
+		}
+		evs[i] = ev
+	}
+	for _, x := range []float32{0.5, 1.0, -2.25, 3.3} {
+		fmt.Printf("  %-10g", x)
+		for _, ev := range evs {
+			fmt.Printf(" %-14g", ev.Eval(x))
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (each column is correctly rounded for its own format; the bf16")
+	fmt.Println("   column's float32 bits always end in sixteen zero bits)")
 }
 
 // crossEntropy64 is the float64 reference: -log(softmax(logits)[target]).

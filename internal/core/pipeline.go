@@ -38,6 +38,28 @@ type Piece struct {
 	// Eval evaluates Coeffs under the configured scheme (for Knuth, with
 	// the adapted alpha coefficients).
 	Eval *poly.Evaluator
+	// PrefixEvals evaluates the progressive prefixes of Coeffs, parallel to
+	// Result.Prefixes (nil for non-progressive runs). Entry k binds the
+	// leading Prefixes[k].Degree+1 coefficients to the same scheme.
+	PrefixEvals []*poly.Evaluator
+}
+
+// PrefixLevel is one progressive level of a generated Result: a narrow
+// output format served by a verified prefix of the polynomial.
+type PrefixLevel struct {
+	// Format is the narrow output format the level serves.
+	Format fp.Format
+	// Target is the level's round-to-odd verification target
+	// (Format.Bits + 2 with the input's exponent width).
+	Target fp.Format
+	// Degree is the verified prefix polynomial degree (the maximum across
+	// pieces when they differ).
+	Degree int
+	// Specials maps input bit patterns to the level's round-to-odd result
+	// for inputs the prefix polynomial cannot serve. Inputs in the full
+	// Result.Specials table are NOT repeated here — the full table's
+	// round-to-odd values compose down to every level.
+	Specials map[uint64]float64
 }
 
 // Stats records how the generation run went. The loop counters (LPSolves,
@@ -78,6 +100,9 @@ type Result struct {
 	Dom      Domain
 	Pieces   []Piece
 	Specials map[uint64]float64 // input bits (float64) -> round-to-odd result
+	// Prefixes lists the progressive levels (Config.Progressive order);
+	// empty for non-progressive runs.
+	Prefixes []PrefixLevel
 	Stats    Stats
 
 	red rangered.Reduction
@@ -201,6 +226,13 @@ func generateScheme(ctx context.Context, cfg Config, scheme poly.Scheme, work []
 	}
 	for b, y := range preSpecials {
 		res.Specials[b] = y
+	}
+	for _, l := range cfg.Progressive {
+		res.Prefixes = append(res.Prefixes, PrefixLevel{
+			Format:   fp.Format{Bits: l.Bits, ExpBits: cfg.Input.ExpBits},
+			Target:   fp.Format{Bits: l.Bits + 2, ExpBits: cfg.Input.ExpBits},
+			Specials: map[uint64]float64{},
+		})
 	}
 	scfg := cfg
 	scfg.Scheme = scheme
@@ -622,9 +654,24 @@ func solvePiece(ctx context.Context, cfg *Config, work []*workItem, rng *rand.Ra
 	solver := lp.NewSolver(lp.Options{Degree: cfg.Degree, WarmStart: !cfg.ColdLP})
 	for degree := cfg.Degree; degree <= cfg.DegreeMax; degree++ {
 		solver.SetDegree(degree)
-		ev, err := adaptLoop(ctx, cfg, solver, work, degree, rng, res, m)
+		ev, err := adaptLoop(ctx, cfg, solver, work, degree, rng, res, m, nil)
 		if err == nil {
-			return &Piece{Lo: lo, Hi: hi, Coeffs: ev.Coeffs, Eval: ev}, nil
+			piece := &Piece{Lo: lo, Hi: hi, Coeffs: ev.Coeffs, Eval: ev}
+			if len(cfg.Progressive) == 0 {
+				return piece, nil
+			}
+			// Progressive rounds: re-solve the combined full+prefix system
+			// level by level on the same warm solver. A failure escalates the
+			// full degree — a deeper polynomial frees the trailing
+			// coefficients to absorb what the prefixes cannot.
+			if perr := solveProgressive(ctx, cfg, solver, work, degree, rng, res, m, piece); perr != nil {
+				if ctx.Err() != nil {
+					return nil, perr
+				}
+				err = perr
+			} else {
+				return piece, nil
+			}
 		}
 		if ctx.Err() != nil {
 			return nil, err // canceled: escalating the degree would just re-fail
@@ -659,31 +706,15 @@ func demoteItem(cfg *Config, res *Result, it *workItem, budget int) (int, error)
 	return budget, nil
 }
 
-// adaptLoop is Algorithm 2: LP-solve on a sample, adapt for the scheme,
-// validate everything with the real float64 evaluation, constrain violated
-// intervals, repeat. Each iteration hands the solver its complete current
-// constraint set: the solver prunes what it already knows, appends what is
-// new or tighter, and reoptimizes from the previous basis (resetting itself
-// when a constraint disappears via demotion — see lp.Solver.Solve).
-func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*workItem, degree int, rng *rand.Rand, res *Result, m *schemeMetrics) (*poly.Evaluator, error) {
-	// Work on copies of the intervals: interval shrinking is per (degree,
-	// scheme) attempt.
-	items := make([]workItem, len(work))
-	for i, it := range work {
-		items[i] = *it
-	}
-	live := make([]*workItem, len(items))
-	for i := range items {
-		live[i] = &items[i]
-	}
-
-	sampleSize := cfg.SampleSize
+// pickSample selects the initial LP sample over a work list: the narrowest
+// (often singleton) constraints pin the polynomial, the bulk spreads evenly
+// over the reduced domain (live is sorted by R — coverage beats randomness
+// for pinning a low-degree polynomial), and any remainder fills randomly.
+func pickSample(live []*workItem, sampleSize int, rng *rand.Rand) map[int]bool {
 	if sampleSize > len(live) {
 		sampleSize = len(live)
 	}
 	sample := map[int]bool{}
-	// Always sample the narrowest (often singleton) constraints: they pin
-	// the polynomial.
 	type widthIdx struct {
 		w float64
 		i int
@@ -696,8 +727,6 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 	for i := 0; i < sampleSize/4 && i < len(widths); i++ {
 		sample[widths[i].i] = true
 	}
-	// Spread the bulk evenly over the reduced domain (live is sorted by R):
-	// coverage beats randomness for pinning a low-degree polynomial.
 	if n := sampleSize - len(sample); n > 0 {
 		step := len(live) / n
 		if step == 0 {
@@ -709,6 +738,58 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 	}
 	for len(sample) < sampleSize {
 		sample[rng.Intn(len(live))] = true
+	}
+	return sample
+}
+
+// sortedIdx flattens a sample set in ascending index order. The sample is a
+// map for O(1) dedup, but LP constraint order decides the Bland's-rule pivot
+// sequence — and with it the exact solution vertex. Go randomizes map
+// iteration order, so feeding the simplex straight from the map would change
+// the generated coefficients from run to run, silently defeating
+// Config.Seed.
+func sortedIdx(sample map[int]bool) []int {
+	idx := make([]int, 0, len(sample))
+	for i := range sample {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// adaptLoop is Algorithm 2: LP-solve on a sample, adapt for the scheme,
+// validate everything with the real float64 evaluation, constrain violated
+// intervals, repeat. Each iteration hands the solver its complete current
+// constraint set: the solver prunes what it already knows, appends what is
+// new or tighter, and reoptimizes from the previous basis (resetting itself
+// when a constraint disappears via demotion — see lp.Solver.Solve).
+//
+// With levels != nil (a progressive round) the LP additionally carries each
+// level's prefix constraints, the check step validates every level with its
+// truncated evaluator, and level demotions land in per-attempt scratch
+// tables the caller commits on success.
+func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*workItem, degree int, rng *rand.Rand, res *Result, m *schemeMetrics, levels []*levelState) (*poly.Evaluator, error) {
+	// Work on copies of the intervals: interval shrinking is per (degree,
+	// scheme) attempt.
+	items := make([]workItem, len(work))
+	for i, it := range work {
+		items[i] = *it
+		// A progressive round re-derives the full system from the original
+		// work list, but inputs the base round already demoted are served by
+		// the table regardless of the polynomial — re-imposing their
+		// intervals could only manufacture infeasibility.
+		if levels != nil && allSourcesSpecial(it.Sources, res.Specials) {
+			items[i].Iv = interval.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+		}
+	}
+	live := make([]*workItem, len(items))
+	for i := range items {
+		live[i] = &items[i]
+	}
+
+	sample := pickSample(live, cfg.SampleSize, rng)
+	for _, st := range levels {
+		st.sample = pickSample(st.live, cfg.SampleSize, rng)
 	}
 
 	specialsBudget := cfg.MaxSpecials - len(res.Specials)
@@ -723,18 +804,10 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 			"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
 			"degree": degree, "iter": iter, "live": len(live),
 		})
-		// The sample is a map for O(1) dedup, but LP constraint order decides
-		// the Bland's-rule pivot sequence — and with it the exact solution
-		// vertex. Go randomizes map iteration order, so feeding the simplex
-		// straight from the map would change the generated coefficients from
-		// run to run, silently defeating Config.Seed. Sort the indices first.
-		sampleIdx := make([]int, 0, len(sample))
-		for i := range sample {
-			sampleIdx = append(sampleIdx, i)
-		}
-		sort.Ints(sampleIdx)
-
-		// Exact rational LP on the sample.
+		// Exact rational LP on the samples (see sortedIdx for why the map
+		// cannot feed the simplex directly). Level prefix constraints ride in
+		// the same system: one vector, every format.
+		sampleIdx := sortedIdx(sample)
 		cons := make([]lp.Constraint, 0, len(sampleIdx))
 		for _, i := range sampleIdx {
 			it := live[i]
@@ -746,6 +819,22 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 				Lo: new(big.Rat).SetFloat64(it.Iv.Lo),
 				Hi: new(big.Rat).SetFloat64(it.Iv.Hi),
 			})
+		}
+		levelIdx := make([][]int, len(levels))
+		for li, st := range levels {
+			levelIdx[li] = sortedIdx(st.sample)
+			for _, i := range levelIdx[li] {
+				it := st.live[i]
+				if math.IsInf(it.Iv.Lo, -1) {
+					continue
+				}
+				cons = append(cons, lp.Constraint{
+					X:      new(big.Rat).SetFloat64(it.R),
+					Lo:     new(big.Rat).SetFloat64(it.Iv.Lo),
+					Hi:     new(big.Rat).SetFloat64(it.Iv.Hi),
+					Prefix: st.prefix,
+				})
+			}
 		}
 		m.lpSolves.Inc()
 		lpStart := time.Now()
@@ -766,10 +855,12 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 		if lpErr != nil {
 			// The sampled system is rationally infeasible (or unbounded, which
 			// the sampled box constraints only produce degenerately): demote
-			// the narrowest sampled constraint and retry. Scanning in sorted
-			// index order makes the tie-break (first narrowest wins)
+			// the narrowest sampled constraint — across the full sample and
+			// every level's — and retry. Scanning in sorted index order, full
+			// sample first, makes the tie-break (first narrowest wins)
 			// deterministic.
 			var narrow *workItem
+			var narrowSt *levelState
 			for _, i := range sampleIdx {
 				it := live[i]
 				if math.IsInf(it.Iv.Lo, -1) {
@@ -779,19 +870,42 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 					narrow = it
 				}
 			}
+			for li, st := range levels {
+				for _, i := range levelIdx[li] {
+					it := st.live[i]
+					if math.IsInf(it.Iv.Lo, -1) {
+						continue
+					}
+					if narrow == nil || it.Iv.Hi-it.Iv.Lo < narrow.Iv.Hi-narrow.Iv.Lo {
+						narrow, narrowSt = it, st
+					}
+				}
+			}
 			if narrow == nil {
 				isp.End(obs.Attrs{"lp": lp.InfeasibilityCause(lpErr), "error": "empty sample"})
 				return nil, fmt.Errorf("LP infeasible with empty sample")
 			}
-			before := specialsBudget
 			var err error
-			specialsBudget, err = demoteItem(cfg, res, narrow, specialsBudget)
-			m.demotedSources.Add(int64(before - specialsBudget))
-			cfg.Trace.Event("demote", obs.Attrs{
+			demoted := 0
+			if narrowSt != nil {
+				before := narrowSt.budget
+				err = narrowSt.demote(cfg, res, narrow)
+				demoted = before - narrowSt.budget
+			} else {
+				before := specialsBudget
+				specialsBudget, err = demoteItem(cfg, res, narrow, specialsBudget)
+				demoted = before - specialsBudget
+			}
+			m.demotedSources.Add(int64(demoted))
+			attrs := obs.Attrs{
 				"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
 				"degree": degree, "iter": iter, "reason": lp.InfeasibilityCause(lpErr),
-				"sources": before - specialsBudget,
-			})
+				"sources": demoted,
+			}
+			if narrowSt != nil {
+				attrs["level"] = narrowSt.format.Bits
+			}
+			cfg.Trace.Event("demote", attrs)
 			if err != nil {
 				isp.End(obs.Attrs{"lp": lp.InfeasibilityCause(lpErr), "error": err.Error()})
 				return nil, err
@@ -811,62 +925,58 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 			isp.End(obs.Attrs{"error": err.Error()})
 			return nil, err
 		}
-
-		// Check every constraint with the real instruction sequence. The
-		// evaluations are pure, so they shard across workers; the interval
-		// updates are applied serially afterwards, in constraint order, so
-		// demotion and shrink decisions are identical for any worker count.
-		checkStart := time.Now()
-		parallelFor(cfg.Workers, len(live), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				if math.IsInf(live[i].Iv.Lo, -1) {
-					continue
-				}
-				vals[i] = ev.Eval(live[i].R)
+		for _, st := range levels {
+			// The level is served by the truncated polynomial under the SAME
+			// scheme (for Knuth, with its own adapted coefficients) — the
+			// instruction sequence validated here is the one that ships.
+			st.pev, err = poly.NewEvaluator(cfg.Scheme, fcoeffs[:st.prefix])
+			if err != nil {
+				isp.End(obs.Attrs{"error": err.Error()})
+				return nil, err
 			}
-		})
-		violations := 0
-		type viol struct {
-			i   int
-			amt float64 // how far outside the interval, relative
 		}
-		var worst []viol
-		for i, it := range live {
-			if math.IsInf(it.Iv.Lo, -1) {
-				continue
+
+		// Check every constraint — full and per level — with the real
+		// instruction sequence.
+		checkStart := time.Now()
+		take := 2 * (degree + 1)
+		violations, cerr := checkPass(cfg, ev, live, vals, sample, take, m, func(it *workItem) error {
+			before := specialsBudget
+			var derr error
+			specialsBudget, derr = demoteItem(cfg, res, it, specialsBudget)
+			m.demotedSources.Add(int64(before - specialsBudget))
+			cfg.Trace.Event("demote", obs.Attrs{
+				"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
+				"degree": degree, "iter": iter, "reason": "empty-interval",
+				"sources": before - specialsBudget,
+			})
+			return derr
+		})
+		for _, st := range levels {
+			if cerr != nil {
+				break
 			}
-			v := vals[i]
-			if it.Iv.Contains(v) {
-				continue
-			}
-			violations++
-			m.constrainEvents.Inc()
-			amt := it.Iv.Lo - v
-			if v > it.Iv.Hi {
-				amt = v - it.Iv.Hi
-			}
-			amt /= math.Max(it.Iv.Hi-it.Iv.Lo, math.SmallestNonzeroFloat64)
-			it.Iv = interval.Constrain(it.Iv, v)
-			if it.Iv.Empty() {
-				before := specialsBudget
-				var err error
-				specialsBudget, err = demoteItem(cfg, res, it, specialsBudget)
-				m.demotedSources.Add(int64(before - specialsBudget))
+			st := st
+			lv, lerr := checkPass(cfg, st.pev, st.live, st.vals, st.sample, take, m, func(it *workItem) error {
+				before := st.budget
+				derr := st.demote(cfg, res, it)
+				m.demotedSources.Add(int64(before - st.budget))
 				cfg.Trace.Event("demote", obs.Attrs{
 					"fn": cfg.Fn.String(), "scheme": cfg.Scheme.String(),
 					"degree": degree, "iter": iter, "reason": "empty-interval",
-					"sources": before - specialsBudget,
+					"level": st.format.Bits, "sources": before - st.budget,
 				})
-				if err != nil {
-					isp.End(obs.Attrs{"error": err.Error()})
-					return nil, err
-				}
-				continue
-			}
-			worst = append(worst, viol{i: i, amt: amt})
+				return derr
+			})
+			violations += lv
+			cerr = lerr
 		}
 		checkDur := time.Since(checkStart)
 		m.checkTime.ObserveDuration(checkDur)
+		if cerr != nil {
+			isp.End(obs.Attrs{"error": cerr.Error()})
+			return nil, cerr
+		}
 		isp.End(obs.Attrs{
 			"sample": len(cons), "violations": violations,
 			"lp_us": lpDur.Microseconds(), "check_us": checkDur.Microseconds(),
@@ -875,29 +985,77 @@ func adaptLoop(ctx context.Context, cfg *Config, solver *lp.Solver, work []*work
 		if violations == 0 {
 			return ev, nil
 		}
-		// A bounded set of violators joins the LP sample: the single worst
-		// offenders plus an even spread across the violated region
-		// (unbounded growth would make the exact simplex intractable; the
-		// PLDI'22 driver bounds its working set the same way).
-		sort.Slice(worst, func(a, b int) bool { return worst[a].amt > worst[b].amt })
-		take := 2 * (degree + 1)
-		for i := 0; i < len(worst) && i < take; i++ {
-			sample[worst[i].i] = true
-		}
-		if len(worst) > take {
-			rest := worst[take:]
-			sort.Slice(rest, func(a, b int) bool { return rest[a].i < rest[b].i })
-			step := len(rest) / take
-			if step == 0 {
-				step = 1
-			}
-			for i := step / 2; i < len(rest); i += step {
-				sample[rest[i].i] = true
-			}
-		}
 		cfg.logf("  iter %d: %d violations (sample %d)", iter, violations, len(sample))
 	}
 	return nil, fmt.Errorf("exceeded %d iterations at degree %d", cfg.MaxIters, degree)
+}
+
+// checkPass validates one work list against one evaluator: the evaluations
+// are pure, so they shard across workers; the interval updates are applied
+// serially afterwards, in constraint order, so demotion and shrink
+// decisions are identical for any worker count. Violated intervals shrink
+// via interval.Constrain; emptied ones are handed to demote. A bounded set
+// of violators joins the LP sample: the single worst offenders plus an even
+// spread across the violated region (unbounded growth would make the exact
+// simplex intractable; the PLDI'22 driver bounds its working set the same
+// way).
+func checkPass(cfg *Config, ev *poly.Evaluator, live []*workItem, vals []float64,
+	sample map[int]bool, take int, m *schemeMetrics, demote func(*workItem) error) (int, error) {
+
+	parallelFor(cfg.Workers, len(live), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if math.IsInf(live[i].Iv.Lo, -1) {
+				continue
+			}
+			vals[i] = ev.Eval(live[i].R)
+		}
+	})
+	violations := 0
+	type viol struct {
+		i   int
+		amt float64 // how far outside the interval, relative
+	}
+	var worst []viol
+	for i, it := range live {
+		if math.IsInf(it.Iv.Lo, -1) {
+			continue
+		}
+		v := vals[i]
+		if it.Iv.Contains(v) {
+			continue
+		}
+		violations++
+		m.constrainEvents.Inc()
+		amt := it.Iv.Lo - v
+		if v > it.Iv.Hi {
+			amt = v - it.Iv.Hi
+		}
+		amt /= math.Max(it.Iv.Hi-it.Iv.Lo, math.SmallestNonzeroFloat64)
+		it.Iv = interval.Constrain(it.Iv, v)
+		if it.Iv.Empty() {
+			if err := demote(it); err != nil {
+				return violations, err
+			}
+			continue
+		}
+		worst = append(worst, viol{i: i, amt: amt})
+	}
+	sort.Slice(worst, func(a, b int) bool { return worst[a].amt > worst[b].amt })
+	for i := 0; i < len(worst) && i < take; i++ {
+		sample[worst[i].i] = true
+	}
+	if len(worst) > take {
+		rest := worst[take:]
+		sort.Slice(rest, func(a, b int) bool { return rest[a].i < rest[b].i })
+		step := len(rest) / take
+		if step == 0 {
+			step = 1
+		}
+		for i := step / 2; i < len(rest); i += step {
+			sample[rest[i].i] = true
+		}
+	}
+	return violations, nil
 }
 
 // parallelFor splits [0, n) into one contiguous chunk per worker and runs

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"rlibm/internal/fp"
+	"rlibm/internal/oracle"
+	"rlibm/internal/poly"
+)
+
+// TestGenerateProgressiveExhaustive: the RLIBM-PROG end-to-end property —
+// one generated polynomial whose truncated prefixes are correctly rounded
+// for every input of each narrower level format under all five modes, while
+// the full polynomial stays correct for the full sweep.
+func TestGenerateProgressiveExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline test; skipped with -short")
+	}
+	for _, tc := range []struct {
+		fn     oracle.Func
+		scheme poly.Scheme
+	}{
+		{oracle.Exp2, poly.Horner},
+		{oracle.Exp2, poly.EstrinFMA},
+		{oracle.Log2, poly.Knuth},
+	} {
+		res, err := Generate(context.Background(), Config{
+			Fn: tc.fn, Scheme: tc.scheme, Input: test18, Seed: 1,
+			Progressive: []ProgressiveLevel{{Bits: 14}, {Bits: 10}},
+		})
+		if err != nil {
+			t.Fatalf("%v/%v: %v", tc.fn, tc.scheme, err)
+		}
+		t.Log(res.Describe())
+		if len(res.Prefixes) != 2 {
+			t.Fatalf("%v/%v: %d prefix levels, want 2", tc.fn, tc.scheme, len(res.Prefixes))
+		}
+		full := res.MaxDegree()
+		for li, pl := range res.Prefixes {
+			if pl.Degree < 1 || pl.Degree > full {
+				t.Errorf("%v/%v level %d: prefix degree %d outside [1, %d]", tc.fn, tc.scheme, li, pl.Degree, full)
+			}
+			rep := res.VerifyPrefix(li, fp.StandardModes)
+			if rep.Checked == 0 {
+				t.Errorf("%v/%v level %d: verified nothing", tc.fn, tc.scheme, li)
+			}
+			if rep.Wrong != 0 {
+				t.Errorf("%v/%v level %d: %d/%d wrong: %s", tc.fn, tc.scheme, li, rep.Wrong, rep.Checked, rep.FirstWrong)
+			}
+		}
+		// The full-sweep regression: progressive constraints must not cost
+		// full-precision correctness.
+		rep := res.Verify(test18, 1, []int{10, 14, 18}, fp.StandardModes)
+		if rep.Wrong != 0 {
+			t.Fatalf("%v/%v full sweep: %d/%d wrong: %s", tc.fn, tc.scheme, rep.Wrong, rep.Checked, rep.FirstWrong)
+		}
+	}
+}
+
+// TestProgressivePrefixEvalsBound: every piece of a progressive result
+// carries one prefix evaluator per level, truncating the piece's own
+// coefficients.
+func TestProgressivePrefixEvalsBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipeline test; skipped with -short")
+	}
+	res, err := Generate(context.Background(), Config{
+		Fn: oracle.Exp2, Scheme: poly.Horner, Input: test18, Seed: 1,
+		Progressive: []ProgressiveLevel{{Bits: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range res.Pieces {
+		if len(p.PrefixEvals) != 1 {
+			t.Fatalf("piece %d: %d prefix evaluators, want 1", pi, len(p.PrefixEvals))
+		}
+		pc := len(p.PrefixEvals[0].Coeffs)
+		if pc < 2 || pc > len(p.Coeffs) {
+			t.Errorf("piece %d: prefix has %d coefficients, full has %d", pi, pc, len(p.Coeffs))
+		}
+		for j, c := range p.PrefixEvals[0].Coeffs {
+			if c != p.Coeffs[j] {
+				t.Errorf("piece %d: prefix coefficient %d diverges from the full vector", pi, j)
+			}
+		}
+	}
+}
+
+// TestProgressiveConfigValidation: misconfigured levels are rejected with
+// actionable errors before any work happens.
+func TestProgressiveConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{
+			"level too wide for the input",
+			Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: test18,
+				Progressive: []ProgressiveLevel{{Bits: 17}}},
+			"needs input width",
+		},
+		{
+			"exponent field does not fit",
+			Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: test18,
+				Progressive: []ProgressiveLevel{{Bits: 9}}},
+			"level 0",
+		},
+		{
+			"negative prefix degree cap",
+			Config{Fn: oracle.Exp2, Scheme: poly.Horner, Input: test18,
+				Progressive: []ProgressiveLevel{{Bits: 14, MaxPrefixDegree: -1}}},
+			"MaxPrefixDegree",
+		},
+	} {
+		_, err := Generate(context.Background(), tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

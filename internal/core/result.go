@@ -16,49 +16,8 @@ import (
 // Input.ExpBits+2 .. Input.Bits bits under any standard mode yields the
 // correctly rounded value.
 func (r *Result) Eval(x float64) float64 {
-	if math.IsNaN(x) {
-		return math.NaN()
-	}
-	if r.Fn.IsTrig() {
-		if math.IsInf(x, 0) {
-			return math.NaN()
-		}
-		if x == 0 {
-			if r.Fn == oracle.Cospi {
-				return 1
-			}
-			return x // sinpi preserves the sign of zero
-		}
-		// cospi's flat-top plateau around zero (see FindDomain).
-		if r.Dom.TinyLo <= x && x <= r.Dom.TinyHi {
-			return r.Dom.TinyHiVal
-		}
-	} else if r.Fn.IsLog() {
-		switch {
-		case x < 0 || math.IsInf(x, -1):
-			return math.NaN()
-		case x == 0:
-			return math.Inf(-1)
-		case math.IsInf(x, 1):
-			return math.Inf(1)
-		}
-	} else {
-		switch {
-		case math.IsInf(x, 1):
-			return math.Inf(1)
-		case math.IsInf(x, -1):
-			return 0
-		case x == 0:
-			return 1
-		case x <= r.Dom.Lo:
-			return r.Dom.LoVal
-		case x >= r.Dom.Hi:
-			return r.Dom.HiVal
-		case x < 0 && x >= r.Dom.TinyLo:
-			return r.Dom.TinyLoVal
-		case x > 0 && x <= r.Dom.TinyHi:
-			return r.Dom.TinyHiVal
-		}
+	if v, done := r.edgeResult(x); done {
+		return v
 	}
 	if y, ok := r.Specials[math.Float64bits(x)]; ok {
 		return y
@@ -69,6 +28,57 @@ func (r *Result) Eval(x float64) float64 {
 	}
 	p := r.PolyEval(rv)
 	return r.red.Compensate(p, key)
+}
+
+// edgeResult handles the input-independent special paths shared by Eval and
+// EvalPrefix — NaN/infinity propagation, exact zeros, the saturation cuts
+// and the tiny plateaus. The bool reports whether the value is final.
+func (r *Result) edgeResult(x float64) (float64, bool) {
+	if math.IsNaN(x) {
+		return math.NaN(), true
+	}
+	if r.Fn.IsTrig() {
+		if math.IsInf(x, 0) {
+			return math.NaN(), true
+		}
+		if x == 0 {
+			if r.Fn == oracle.Cospi {
+				return 1, true
+			}
+			return x, true // sinpi preserves the sign of zero
+		}
+		// cospi's flat-top plateau around zero (see FindDomain).
+		if r.Dom.TinyLo <= x && x <= r.Dom.TinyHi {
+			return r.Dom.TinyHiVal, true
+		}
+	} else if r.Fn.IsLog() {
+		switch {
+		case x < 0 || math.IsInf(x, -1):
+			return math.NaN(), true
+		case x == 0:
+			return math.Inf(-1), true
+		case math.IsInf(x, 1):
+			return math.Inf(1), true
+		}
+	} else {
+		switch {
+		case math.IsInf(x, 1):
+			return math.Inf(1), true
+		case math.IsInf(x, -1):
+			return 0, true
+		case x == 0:
+			return 1, true
+		case x <= r.Dom.Lo:
+			return r.Dom.LoVal, true
+		case x >= r.Dom.Hi:
+			return r.Dom.HiVal, true
+		case x < 0 && x >= r.Dom.TinyLo:
+			return r.Dom.TinyLoVal, true
+		case x > 0 && x <= r.Dom.TinyHi:
+			return r.Dom.TinyHiVal, true
+		}
+	}
+	return 0, false
 }
 
 // PolyEval evaluates the piecewise polynomial at the reduced input.

@@ -1,0 +1,52 @@
+package libm
+
+import (
+	"math"
+	"sync"
+)
+
+// Bfloat16 result memo tables. The bfloat16 input space embedded in float32
+// is exactly the 2^16 bit patterns whose low 16 bits are zero, so the entire
+// function — specials included — fits in a 256 KiB table per function that
+// stays L2-resident under load. The serving layer's bf16 batch path answers
+// representable inputs with one table load instead of running range
+// reduction, the prefix polynomial and the narrowing round per element,
+// which is where bfloat16 serving gets its per-element speedup beyond what
+// the shorter prefix polynomial alone buys.
+//
+// Each table is built lazily from the generated bf16 prefix kernel, so a
+// lookup is bit-identical to evaluating the kernel by construction. The
+// table is scheme-independent: every scheme's prefix computes the identical
+// correctly rounded bfloat16 result for every representable input (the
+// special-case switch is shared, and the exhaustive prefix battery verifies
+// each scheme against the same 18-bit round-to-odd target), so one table per
+// function serves all four schemes.
+
+var (
+	bf16TableMu sync.Mutex
+	bf16Tables  = map[string]*[1 << 16]uint32{}
+)
+
+// Bf16Table returns the bfloat16 result table for function fname, keyed by
+// the high 16 bits of the representable input's float32 pattern; entries are
+// float32 result bits. The first call per function builds the table (one
+// prefix-kernel evaluation per pattern, ~1 ms); later calls return the
+// cached table. Returns nil when fname has no generated bf16 prefix kernel.
+func Bf16Table(fname string) *[1 << 16]uint32 {
+	bf16TableMu.Lock()
+	defer bf16TableMu.Unlock()
+	if t, ok := bf16Tables[fname]; ok {
+		return t
+	}
+	kern := GeneratedPrefixFuncs[fname+"/rlibm/bf16"]
+	if kern == nil {
+		return nil
+	}
+	t := new([1 << 16]uint32)
+	for i := range t {
+		x := float64(math.Float32frombits(uint32(i) << 16))
+		t[i] = math.Float32bits(float32(kern(x)))
+	}
+	bf16Tables[fname] = t
+	return t
+}

@@ -1,0 +1,41 @@
+package libm
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBf16TableMatchesEveryScheme: the per-function bfloat16 result table is
+// shared across schemes, so every scheme's bf16 prefix kernel must produce
+// the table's bits for every one of the 2^16 representable input patterns —
+// specials, subnormals, NaN payloads, everything. This is the exhaustive
+// proof behind the batch fast path's scheme-independent lookup.
+func TestBf16TableMatchesEveryScheme(t *testing.T) {
+	for _, f := range Funcs {
+		tab := Bf16Table(f.Name)
+		if tab == nil {
+			t.Fatalf("no bf16 table for %s", f.Name)
+		}
+		for _, s := range Schemes {
+			kern := GeneratedPrefixFuncs[f.Name+"/"+s.String()+"/bf16"]
+			if kern == nil {
+				t.Fatalf("no bf16 prefix kernel for %s/%v", f.Name, s)
+			}
+			for i := range tab {
+				x := math.Float32frombits(uint32(i) << 16)
+				got := math.Float32bits(float32(kern(float64(x))))
+				if got != tab[i] {
+					t.Fatalf("%s/%v(%x): kernel %#08x, table %#08x",
+						f.Name, s, uint32(i)<<16, got, tab[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBf16TableUnknownFunc: an unknown function has no table, not a panic.
+func TestBf16TableUnknownFunc(t *testing.T) {
+	if tab := Bf16Table("sinpi"); tab != nil {
+		t.Error("Bf16Table for an unknown function should be nil")
+	}
+}

@@ -1,0 +1,103 @@
+package libm
+
+import (
+	"math"
+
+	"rlibm/internal/fp"
+)
+
+// Serving precisions (RLIBM-PROG). A progressive polynomial's lower-degree
+// prefixes are themselves correctly rounded for narrower formats: the full
+// kernel targets the 34-bit round-to-odd result (correct for every 10-32-bit
+// format with an 8-bit exponent), and each prefix kernel targets the
+// (k+2)-bit round-to-odd result for a k-bit output format. The two narrow
+// precisions served here are the ML formats in the float32 exponent family:
+//
+//   - bf16: bfloat16 (fp16_e8, 8-bit significand precision), verified
+//     against the 18-bit round-to-odd target over every bfloat16 input;
+//   - tf32: the FP16-class format with an 8-bit exponent (fp19_e8, NVIDIA's
+//     TensorFloat32 layout, 11-bit significand precision), verified against
+//     the 21-bit round-to-odd target. IEEE binary16's 5-bit exponent is
+//     outside the RLibm-ALL 8-bit-exponent guarantee, so "fp16" requests
+//     resolve to this format.
+//
+// PrecSpec carries what the emitter and the verification batteries need.
+type PrecSpec struct {
+	Name   string    // canonical short name; the "func/scheme/prec" key segment
+	Out    fp.Format // output format the prefix kernel rounds to
+	Target fp.Format // round-to-odd verification format (Out.Bits + 2)
+}
+
+// PrecSpecs lists the narrow serving precisions in wire-code order
+// (full float32 is code 0 and has no prefix kernels; tf32 is 1, bf16 is 2).
+var PrecSpecs = []PrecSpec{
+	{Name: "tf32", Out: fp.TensorFloat32, Target: fp.Format{Bits: 21, ExpBits: 8}},
+	{Name: "bf16", Out: fp.Bfloat16, Target: fp.Format{Bits: 18, ExpBits: 8}},
+}
+
+// PrecSpecByName resolves a PrecSpec from its canonical name.
+func PrecSpecByName(name string) (PrecSpec, bool) {
+	for _, ps := range PrecSpecs {
+		if ps.Name == name {
+			return ps, true
+		}
+	}
+	return PrecSpec{}, false
+}
+
+// Fast narrow rounding. The prefix kernels end with a round-to-nearest-even
+// conversion of the raw double to the output format, returned as a float64
+// (every bfloat16/tf32 value embeds exactly). The double carries >= prec+2
+// significand bits, so rounding it directly is the correctly rounded result;
+// an intermediate float64->float32 RNE conversion could double-round.
+//
+// The hot path is a pure integer add-and-mask on the float64 bits, valid
+// whenever the value is normal in the target format and carries into at most
+// one extra binade; everything else (subnormals, zeros, infinities, NaNs,
+// deep overflow) takes the exact fp.Format.Round slow path. Both targets
+// share the float32 exponent field, so "normal" is biased exponent in
+// [897, 1150] (unbiased [-126, 127]).
+
+// roundNarrow rounds d to the nearest even value with prec = 53-shift
+// significand bits. shift must be a constant at each call site so the whole
+// body inlines.
+func roundNarrow(d float64, shift uint, slow fp.Format) float64 {
+	u := math.Float64bits(d)
+	if e := (u >> 52) & 0x7ff; e-897 > 1150-897 {
+		return slow.Round(d, fp.RNE)
+	}
+	lsb := (u >> shift) & 1
+	u += 1<<(shift-1) - 1 + lsb
+	u &^= 1<<shift - 1
+	r := math.Float64frombits(u)
+	// A carry out of the top binade lands exactly on ±2^128 — past the 8-bit
+	// exponent range, which round-to-nearest takes to infinity.
+	if r >= 0x1p128 {
+		return math.Inf(1)
+	}
+	if r <= -0x1p128 {
+		return math.Inf(-1)
+	}
+	return r
+}
+
+// roundBf16 rounds d to the nearest bfloat16 value (ties to even), returned
+// as a float64.
+func roundBf16(d float64) float64 { return roundNarrow(d, 45, fp.Bfloat16) }
+
+// roundTf32 rounds d to the nearest tf32 (fp19_e8) value (ties to even),
+// returned as a float64.
+func roundTf32(d float64) float64 { return roundNarrow(d, 42, fp.TensorFloat32) }
+
+// PrecRound rounds a raw double kernel result to the named precision's
+// output format under round-to-nearest-even — the reference form of the
+// conversion the generated prefix kernels inline.
+func PrecRound(ps PrecSpec, d float64) float64 {
+	switch ps.Name {
+	case "tf32":
+		return roundTf32(d)
+	case "bf16":
+		return roundBf16(d)
+	}
+	return ps.Out.Round(d, fp.RNE)
+}

@@ -111,15 +111,16 @@ func (s *Solver) AddConstraints(cons ...Constraint) int {
 	n := 0
 	for i := range cons {
 		c := &cons[i]
-		key := c.X.RatString()
+		key := c.key()
 		b := s.tight[key]
 		if b != nil && c.Lo.Cmp(b.lo) <= 0 && c.Hi.Cmp(b.hi) >= 0 {
 			continue // dominated: no new information
 		}
 		s.accepted = append(s.accepted, Constraint{
-			X:  new(big.Rat).Set(c.X),
-			Lo: new(big.Rat).Set(c.Lo),
-			Hi: new(big.Rat).Set(c.Hi),
+			X:      new(big.Rat).Set(c.X),
+			Lo:     new(big.Rat).Set(c.Lo),
+			Hi:     new(big.Rat).Set(c.Hi),
+			Prefix: c.Prefix,
 		})
 		n++
 		if b == nil {
@@ -156,7 +157,7 @@ func (s *Solver) Solve(ctx context.Context, cons []Constraint) (Result, error) {
 		if !reset {
 			seen := make(map[string]bool, len(cons))
 			for i := range cons {
-				key := cons[i].X.RatString()
+				key := cons[i].key()
 				seen[key] = true
 				if b, ok := s.tight[key]; ok {
 					if cons[i].Lo.Cmp(b.lo) < 0 || cons[i].Hi.Cmp(b.hi) > 0 {
@@ -199,9 +200,11 @@ func (s *Solver) Resolve(ctx context.Context) (Result, error) {
 }
 
 // polyRow writes the lo/hi constraint rows for c into loRow/hiRow (each of
-// length width+1, rhs at width). Orientation is chosen by negLo: the cold
-// build uses the surplus form P - w*t - s = Lo; warm appends need the
-// slack's +1 coefficient, so the row is negated: -P + w*t + s = -Lo.
+// length width+1, rhs at width; both rows must arrive zeroed). Orientation
+// is chosen by negLo: the cold build uses the surplus form P - w*t - s = Lo;
+// warm appends need the slack's +1 coefficient, so the row is negated:
+// -P + w*t + s = -Lo. A prefix constraint leaves the columns of its excluded
+// trailing coefficients at zero, so they do not participate in the bound.
 func (s *Solver) polyRow(c *Constraint, loRow, hiRow []sc, width int, negLo bool) {
 	nc := s.nc
 	tVar := 2 * nc
@@ -209,7 +212,7 @@ func (s *Solver) polyRow(c *Constraint, loRow, hiRow []sc, width int, negLo bool
 	w.Mul(w, big.NewRat(1, 2))
 	pow := new(big.Rat).SetInt64(1)
 	var v sc
-	for j := 0; j < nc; j++ {
+	for j := 0; j < c.prefixCount(nc); j++ {
 		v.setRat(pow)
 		hiRow[2*j].set(&v)
 		if negLo {

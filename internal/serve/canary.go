@@ -57,13 +57,25 @@ type canary struct {
 	verifyHook func(canaryItem)
 }
 
-// canaryItem is one sampled (input, served output) pair. Plain values only:
-// sending one through the bounded queue allocates nothing.
+// canaryItem is one sampled (input, served output) pair, with the precision
+// the output was served at. Plain values only: sending one through the
+// bounded queue allocates nothing.
 type canaryItem struct {
 	f rlibm.Func
+	p rlibm.Precision
 	x float32
 	y float32
 }
+
+// precFormats maps each precision to its output format for oracle
+// adjudication; all three share float32's 8-bit exponent.
+var precFormats = func() [rlibm.NumPrecisions]fp.Format {
+	var out [rlibm.NumPrecisions]fp.Format
+	for _, p := range rlibm.Precisions {
+		out[p] = fp.Format{Bits: p.Bits(), ExpBits: 8}
+	}
+	return out
+}()
 
 func newCanary(cfg Config, reg *obs.Registry) *canary {
 	c := &canary{
@@ -104,7 +116,7 @@ func newCanary(cfg Config, reg *obs.Registry) *canary {
 // visible in the phase metrics, and the mismatch log carries the input bits
 // needed to reproduce against any scheme. Nil-receiver safe (canary off) and
 // allocation-free on every path.
-func (c *canary) offer(f rlibm.Func, src, dst []float32) {
+func (c *canary) offer(f rlibm.Func, p rlibm.Precision, src, dst []float32) {
 	if c == nil || len(src) == 0 {
 		return
 	}
@@ -118,12 +130,12 @@ func (c *canary) offer(f rlibm.Func, src, dst []float32) {
 	first := (lo/c.every + 1) * c.every
 	for g := first; g <= hi; g += c.every {
 		i := int(g - lo - 1)
-		c.offerOne(canaryItem{f: f, x: src[i], y: dst[i]})
+		c.offerOne(canaryItem{f: f, p: p, x: src[i], y: dst[i]})
 	}
 }
 
 func (c *canary) offerOne(it canaryItem) {
-	if !canaryAdmissible(it.f, it.x) {
+	if !canaryAdmissible(it.f, it.p, it.x) {
 		c.skipped.Inc()
 		return
 	}
@@ -135,11 +147,17 @@ func (c *canary) offerOne(it canaryItem) {
 }
 
 // canaryAdmissible reports whether x is in the kernel's polynomial domain
-// for f — the inputs whose results the oracle can adjudicate. The rest (NaN,
-// ±Inf, zeros, log of non-positive x) are IEEE special-case territory.
-func canaryAdmissible(f rlibm.Func, x float32) bool {
+// for f at precision p — the inputs whose results the oracle can
+// adjudicate. NaN, ±Inf, zeros and log of non-positive x are IEEE
+// special-case territory; for narrow precisions the correct-rounding
+// guarantee covers the narrow format's own inputs, so an input that is not
+// representable at p is skipped rather than misjudged.
+func canaryAdmissible(f rlibm.Func, p rlibm.Precision, x float32) bool {
 	fx := float64(x)
 	if math.IsNaN(fx) || math.IsInf(fx, 0) || fx == 0 {
+		return false
+	}
+	if p != rlibm.PrecFloat32 && !precFormats[p].IsRepresentable(fx) {
 		return false
 	}
 	switch f {
@@ -176,18 +194,19 @@ func (c *canary) verify(it canaryItem) {
 		c.verifyHook(it)
 		return
 	}
-	want := c.cache.Correct(c.ofns[it.f], float64(it.x), fp.Float32, fp.RNE)
+	want := c.cache.Correct(c.ofns[it.f], float64(it.x), precFormats[it.p], fp.RNE)
 	c.checked.Inc()
 	if math.Float64bits(float64(it.y)) == math.Float64bits(want) {
 		return
 	}
 	c.mismatch.Inc()
-	c.log.Infof("canary: MISMATCH %s(%v) [bits %#08x]: served %v (bits %#08x), oracle %v (bits %#08x)",
-		it.f, it.x, math.Float32bits(it.x),
+	c.log.Infof("canary: MISMATCH %s(%v) prec %s [bits %#08x]: served %v (bits %#08x), oracle %v (bits %#08x)",
+		it.f, it.x, it.p, math.Float32bits(it.x),
 		it.y, math.Float32bits(it.y),
 		want, math.Float32bits(float32(want)))
 	c.trace.Event("serve.canary.mismatch", obs.Attrs{
 		"func":        it.f.String(),
+		"prec":        it.p.String(),
 		"x_bits":      math.Float32bits(it.x),
 		"served_bits": math.Float32bits(it.y),
 		"oracle_bits": math.Float32bits(float32(want)),

@@ -54,10 +54,10 @@ func TestCanaryFlagsMismatch(t *testing.T) {
 	src := []float32{0.75}
 	good := make([]float32, 1)
 	rlibm.EvalBatch(rlibm.FuncExp, rlibm.Horner, good, src)
-	c.offer(rlibm.FuncExp, src, good)
+	c.offer(rlibm.FuncExp, rlibm.PrecFloat32, src, good)
 
 	bad := []float32{math.Float32frombits(math.Float32bits(good[0]) + 1)}
-	c.offer(rlibm.FuncExp, src, bad)
+	c.offer(rlibm.FuncExp, rlibm.PrecFloat32, src, bad)
 
 	srv.Close()
 	if n := c.checked.Value(); n != 2 {
@@ -78,9 +78,9 @@ func TestCanarySkipsInadmissible(t *testing.T) {
 	logSrc := []float32{
 		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)), 0, -1,
 	}
-	c.offer(rlibm.FuncLog, logSrc, make([]float32, len(logSrc)))
+	c.offer(rlibm.FuncLog, rlibm.PrecFloat32, logSrc, make([]float32, len(logSrc)))
 	expSrc := []float32{0, float32(math.Copysign(0, -1)), float32(math.NaN())}
-	c.offer(rlibm.FuncExp, expSrc, make([]float32, len(expSrc)))
+	c.offer(rlibm.FuncExp, rlibm.PrecFloat32, expSrc, make([]float32, len(expSrc)))
 
 	srv.Close()
 	if n := c.skipped.Value(); n != int64(len(logSrc)+len(expSrc)) {
@@ -94,7 +94,7 @@ func TestCanarySkipsInadmissible(t *testing.T) {
 	neg := []float32{-1}
 	out := make([]float32, 1)
 	rlibm.EvalBatch(rlibm.FuncExp, rlibm.Horner, out, neg)
-	srv2.canary.offer(rlibm.FuncExp, neg, out)
+	srv2.canary.offer(rlibm.FuncExp, rlibm.PrecFloat32, neg, out)
 	srv2.Close()
 	if n := srv2.canary.checked.Value(); n != 1 {
 		t.Errorf("exp(-1) checked_total = %d, want 1 (negative exp inputs are admissible)", n)
@@ -112,7 +112,7 @@ func TestCanaryStrideSampling(t *testing.T) {
 	rlibm.EvalBatch(rlibm.FuncExp, rlibm.Horner, dst, src)
 	// 10 two-element requests = 20 elements; every 4th sampled = 5.
 	for i := 0; i < 10; i++ {
-		c.offer(rlibm.FuncExp, src, dst)
+		c.offer(rlibm.FuncExp, rlibm.PrecFloat32, src, dst)
 	}
 	srv.Close()
 	if n := c.checked.Value(); n != 5 {
@@ -147,7 +147,7 @@ func TestCanaryDropNotBlockUnderSaturation(t *testing.T) {
 	for i := 0; i < evals; i++ {
 		var rs reqState
 		srv.begin(&rs, 0)
-		if err := srv.eval(rlibm.FuncExp2, rlibm.Horner, dst, src, &rs); err != nil {
+		if err := srv.eval(rlibm.FuncExp2, rlibm.Horner, rlibm.PrecFloat32, dst, src, &rs); err != nil {
 			t.Fatalf("eval %d under canary saturation: %v", i, err)
 		}
 	}

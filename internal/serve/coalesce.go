@@ -38,10 +38,12 @@ import (
 // and the request was shed rather than queued.
 var errOverloaded = errors.New("serve: overloaded, request shed")
 
-// coalescer accumulates small requests for one (func, scheme) pair.
+// coalescer accumulates small requests for one (func, scheme, precision)
+// combo. Precision is part of the key because a sweep runs one bound kernel:
+// a bfloat16 request must never pay for a full-precision polynomial, and
+// mixing precisions in one sweep would force the widest on everyone.
 type coalescer struct {
-	f          rlibm.Func
-	sch        rlibm.Scheme
+	ev         *rlibm.Evaluator
 	flushElems int
 	maxPending int
 
@@ -80,10 +82,9 @@ type coalesceWaiter struct {
 	done   chan sweepTiming
 }
 
-func newCoalescer(f rlibm.Func, sch rlibm.Scheme, cfg Config, reg *obs.Registry) *coalescer {
+func newCoalescer(ev *rlibm.Evaluator, cfg Config, reg *obs.Registry) *coalescer {
 	return &coalescer{
-		f:          f,
-		sch:        sch,
+		ev:         ev,
 		flushElems: cfg.CoalesceFlushElems,
 		maxPending: cfg.MaxPendingElems,
 		queueElems: reg.Gauge("serve.coalesce.queue_elems"),
@@ -248,7 +249,7 @@ func (c *coalescer) run(b coalesceBatch) {
 	src := *b.srcp
 	dstp := getBuf(len(src))
 	start := time.Now()
-	rlibm.EvalBatch(c.f, c.sch, *dstp, src)
+	c.ev.EvalBatch(*dstp, src)
 	timing := sweepTiming{start: start, dur: time.Since(start)}
 	c.flushes.Inc()
 	c.flushSize.Observe(int64(len(src)))
@@ -267,13 +268,13 @@ func (c *coalescer) run(b coalesceBatch) {
 // in-flight semaphore. The only error is errOverloaded (a shed). When rs is
 // non-nil the queue-wait and sweep phases are attributed into it; on success
 // the canary (when enabled) samples elements of the served result for
-// background re-verification.
-func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, rs *reqState) error {
+// background re-verification at the request's precision.
+func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, p rlibm.Precision, dst, src []float32, rs *reqState) error {
 	if n := len(src); n > 0 && n <= s.cfg.CoalesceMaxRequest {
-		if err := s.coalescers[f][sch].enqueue(dst, src, rs); err != nil {
+		if err := s.coalescers[f][sch][p].enqueue(dst, src, rs); err != nil {
 			return err
 		}
-		s.canary.offer(f, src, dst)
+		s.canary.offer(f, p, src, dst)
 		return nil
 	}
 	acquired := time.Now()
@@ -292,7 +293,7 @@ func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, rs *re
 		}
 	}
 	start := time.Now()
-	rlibm.EvalBatch(f, sch, dst, src)
+	s.evals[f][sch][p].EvalBatch(dst, src)
 	if rs != nil {
 		// Direct path: queue-wait is the semaphore wait, sweep is the
 		// request's own EvalBatch.
@@ -300,6 +301,6 @@ func (s *Server) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, rs *re
 		rs.sweep = time.Since(start)
 	}
 	<-s.directSem
-	s.canary.offer(f, src, dst)
+	s.canary.offer(f, p, src, dst)
 	return nil
 }

@@ -28,7 +28,7 @@ func TestCoalescedBitIdentical(t *testing.T) {
 		CoalesceMaxRequest: 4096,
 		CoalesceFlushElems: 1024,
 	})
-	srv.coalescers[rlibm.FuncExp][rlibm.EstrinFMA].onFlush = func() {
+	srv.coalescers[rlibm.FuncExp][rlibm.EstrinFMA][rlibm.PrecFloat32].onFlush = func() {
 		time.Sleep(200 * time.Microsecond)
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -143,7 +143,7 @@ func TestOverloadShedsTyped429(t *testing.T) {
 	// behind it, the way a slow sweep under real load would.
 	entered := make(chan struct{}, 1)
 	hold := make(chan struct{})
-	srv.coalescers[rlibm.FuncExp][rlibm.Horner].onFlush = func() {
+	srv.coalescers[rlibm.FuncExp][rlibm.Horner][rlibm.PrecFloat32].onFlush = func() {
 		select {
 		case entered <- struct{}{}:
 		default:

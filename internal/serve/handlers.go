@@ -82,6 +82,23 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) (rlibm.Func, rlib
 	return f, sch, true
 }
 
+// resolvePrec maps a request's precision name ("" means full precision) to a
+// Precision, replying the uniform {error, ...} 400 body on an unknown name —
+// precision is request content (a JSON field or query parameter), not a path
+// segment, so a bad one is a bad request rather than a missing resource. The
+// error text is rlibm.ParsePrecision's, which enumerates the valid names.
+func (s *Server) resolvePrec(w http.ResponseWriter, name string) (rlibm.Precision, bool) {
+	if name == "" {
+		return rlibm.PrecFloat32, true
+	}
+	p, err := rlibm.ParsePrecision(name)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return 0, false
+	}
+	return p, true
+}
+
 // apiError is the uniform error body of every non-200 response. Limit is
 // always the element limit (never bytes — the byte ceiling is an internal
 // heuristic that must not leak); Elements appears when the server knows the
@@ -384,53 +401,71 @@ func (s *jsonScanner) element() (float32, error) {
 	return float32(f), nil
 }
 
-// decodeEvalRequest parses {"x":[...]} from body into *srcp, enforcing
-// maxBatch in elements while decoding: the request is rejected as soon as
-// one element too many appears, regardless of how many bytes the literals
-// take. Unknown top-level keys are skipped; "x":null is an empty batch.
-func decodeEvalRequest(body []byte, maxBatch int, srcp *[]float32) error {
+// decodeEvalRequest parses {"x":[...], "prec": "..."} from body into *srcp,
+// enforcing maxBatch in elements while decoding: the request is rejected as
+// soon as one element too many appears, regardless of how many bytes the
+// literals take. The optional "prec" string rides back verbatim for the
+// handler to resolve ("" when absent or null — name resolution is API
+// policy, not decoding). Unknown top-level keys are skipped; "x":null is an
+// empty batch.
+func decodeEvalRequest(body []byte, maxBatch int, srcp *[]float32) (string, error) {
+	prec := ""
 	s := &jsonScanner{b: body}
 	if err := s.expect('{'); err != nil {
-		return errors.New("request body must be a JSON object")
+		return prec, errors.New("request body must be a JSON object")
 	}
 	for first := true; s.peek() != '}'; first = false {
 		if !first {
 			if err := s.expect(','); err != nil {
-				return err
+				return prec, err
 			}
 		}
 		key, err := s.stringToken()
 		if err != nil {
-			return err
+			return prec, err
 		}
 		if err := s.expect(':'); err != nil {
-			return err
+			return prec, err
+		}
+		if string(key) == "prec" {
+			if s.peek() == 'n' { // "prec": null means the default
+				if err := s.literal("null"); err != nil {
+					return prec, err
+				}
+				continue
+			}
+			raw, err := s.stringToken()
+			if err != nil {
+				return prec, errors.New(`"prec" must be a string`)
+			}
+			prec = string(raw)
+			continue
 		}
 		if string(key) != "x" {
 			if err := s.skipValue(); err != nil {
-				return err
+				return prec, err
 			}
 			continue
 		}
 		if s.peek() == 'n' { // "x": null is an empty batch
 			if err := s.literal("null"); err != nil {
-				return err
+				return prec, err
 			}
 			continue
 		}
 		if err := s.expect('['); err != nil {
-			return errors.New(`"x" must be an array`)
+			return prec, errors.New(`"x" must be an array`)
 		}
 		elements := 0
 		for first := true; s.peek() != ']'; first = false {
 			if !first {
 				if err := s.expect(','); err != nil {
-					return err
+					return prec, err
 				}
 			}
 			v, err := s.element()
 			if err != nil {
-				return err
+				return prec, err
 			}
 			elements++
 			// Past the limit, keep scanning without storing so the 413 can
@@ -442,14 +477,14 @@ func decodeEvalRequest(body []byte, maxBatch int, srcp *[]float32) error {
 		}
 		s.i++ // the ']'
 		if elements > maxBatch {
-			return &tooManyElementsError{elements: elements}
+			return prec, &tooManyElementsError{elements: elements}
 		}
 	}
 	s.i++ // the '}'
 	if s.peek() != 0 {
-		return fmt.Errorf("trailing data after request object")
+		return prec, fmt.Errorf("trailing data after request object")
 	}
-	return nil
+	return prec, nil
 }
 
 // handleEvalJSON: POST /v1/eval/{func}/{scheme} with body {"x":[...]}.
@@ -486,7 +521,8 @@ func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
 	defer putByteBuf(bodyp)
 	srcp := getBufEmpty(256)
 	defer putBuf(srcp)
-	if err := decodeEvalRequest(*bodyp, s.cfg.MaxBatch, srcp); err != nil {
+	precName, err := decodeEvalRequest(*bodyp, s.cfg.MaxBatch, srcp)
+	if err != nil {
 		var tooMany *tooManyElementsError
 		if errors.As(err, &tooMany) {
 			writeLimitError(w, tooMany.elements, s.cfg.MaxBatch)
@@ -495,10 +531,14 @@ func (s *Server) handleEvalJSON(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	p, ok := s.resolvePrec(w, precName)
+	if !ok {
+		return
+	}
 	rs.decode = time.Since(decodeStart)
 	dstp := getBuf(len(*srcp))
 	defer putBuf(dstp)
-	if err := s.eval(f, sch, *dstp, *srcp, &rs); err != nil {
+	if err := s.eval(f, sch, p, *dstp, *srcp, &rs); err != nil {
 		s.writeOverloaded(w)
 		return
 	}
@@ -587,6 +627,10 @@ func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("body length %d is not a multiple of 4", len(body))})
 		return
 	}
+	p, ok := s.resolvePrec(w, r.URL.Query().Get("prec"))
+	if !ok {
+		return
+	}
 	n := len(body) / 4
 	src := getBuf(n)
 	dst := getBuf(n)
@@ -596,7 +640,7 @@ func (s *Server) handleEvalBin(w http.ResponseWriter, r *http.Request) {
 		(*src)[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
 	}
 	rs.decode = time.Since(decodeStart)
-	if err := s.eval(f, sch, *dst, *src, &rs); err != nil {
+	if err := s.eval(f, sch, p, *dst, *src, &rs); err != nil {
 		s.writeOverloaded(w)
 		return
 	}

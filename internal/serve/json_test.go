@@ -234,7 +234,7 @@ func TestJSONDecodeAllocsPerElement(t *testing.T) {
 	defer putBuf(srcp)
 	avg := testing.AllocsPerRun(10, func() {
 		*srcp = (*srcp)[:0]
-		if err := decodeEvalRequest(body, 1<<20, srcp); err != nil {
+		if _, err := decodeEvalRequest(body, 1<<20, srcp); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -253,7 +253,7 @@ func TestJSONDecodeStrictGrammar(t *testing.T) {
 		`{"x":"nope"}`, `[1]`, ``,
 	} {
 		srcp := getBufEmpty(4)
-		if err := decodeEvalRequest([]byte(bad), 8, srcp); err == nil {
+		if _, err := decodeEvalRequest([]byte(bad), 8, srcp); err == nil {
 			t.Errorf("%s: accepted, want a parse error", bad)
 		}
 		putBuf(srcp)
@@ -263,7 +263,7 @@ func TestJSONDecodeStrictGrammar(t *testing.T) {
 		`{"pad":{"a":[1,"]"]},"x":[1,2]} `, `{}`,
 	} {
 		srcp := getBufEmpty(4)
-		if err := decodeEvalRequest([]byte(good), 8, srcp); err != nil {
+		if _, err := decodeEvalRequest([]byte(good), 8, srcp); err != nil {
 			t.Errorf("%s: rejected with %v, want accepted", good, err)
 		}
 		putBuf(srcp)

@@ -328,7 +328,7 @@ func TestUntracedFastPathZeroAlloc(t *testing.T) {
 	avg := testing.AllocsPerRun(200, func() {
 		var rs reqState
 		srv.begin(&rs, 0)
-		if err := srv.eval(rlibm.FuncExp, rlibm.Horner, dst, src, &rs); err != nil {
+		if err := srv.eval(rlibm.FuncExp, rlibm.Horner, rlibm.PrecFloat32, dst, src, &rs); err != nil {
 			t.Fatalf("eval: %v", err)
 		}
 		srv.observePhases(rlibm.FuncExp, rlibm.Horner, "bin", len(src), &rs)

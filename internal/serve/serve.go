@@ -182,9 +182,13 @@ type Server struct {
 	shedTotal  *obs.Counter
 	started    time.Time
 
-	// coalescers holds one request accumulator per (func, scheme) pair;
-	// directSem bounds concurrent non-coalesced sweeps.
-	coalescers [rlibm.NumFuncs][rlibm.NumSchemes]*coalescer
+	// evals holds one bound Evaluator per (func, scheme, precision) combo —
+	// dispatch resolved once at startup; coalescers holds one request
+	// accumulator per combo (precision is part of the coalescing key: a
+	// sweep runs exactly one kernel); directSem bounds concurrent
+	// non-coalesced sweeps.
+	evals      [rlibm.NumFuncs][rlibm.NumSchemes][rlibm.NumPrecisions]*rlibm.Evaluator
+	coalescers [rlibm.NumFuncs][rlibm.NumSchemes][rlibm.NumPrecisions]*coalescer
 	directSem  chan struct{}
 
 	// Request-level observability (see obsreq.go): per-combo phase-latency
@@ -228,8 +232,18 @@ func New(cfg Config) *Server {
 	}
 	for _, f := range rlibm.Funcs {
 		for _, sch := range rlibm.Schemes {
-			s.coalescers[f][sch] = newCoalescer(f, sch, s.cfg, cfg.Registry)
+			// Phase instruments stay keyed (func, scheme): precision is a
+			// property of the request, not a new latency population worth 32
+			// more histograms per combo.
 			s.phases[f][sch] = newPhaseSet(f, sch, cfg.Registry)
+			for _, p := range rlibm.Precisions {
+				ev, err := rlibm.New(f, sch, rlibm.WithPrecision(p))
+				if err != nil {
+					panic("serve: " + err.Error()) // combo sets track by design
+				}
+				s.evals[f][sch][p] = ev
+				s.coalescers[f][sch][p] = newCoalescer(ev, s.cfg, cfg.Registry)
+			}
 		}
 	}
 	if cfg.CanarySample > 0 {

@@ -27,7 +27,9 @@ import (
 //	u64 id       client-chosen request id, echoed in the response
 //	u8  func     rlibm.Func code (0 exp, 1 exp2, 2 exp10, 3 log, 4 log2, 5 log10)
 //	u8  scheme   rlibm.Scheme code (0 horner, 1 knuth, 2 estrin, 3 estrin-fma)
-//	u16 flags    0, or streamFlagTraced; other bits are a bad frame
+//	u16 flags    bit 0 streamFlagTraced; bits 8–15 the rlibm.Precision code
+//	             (0 float32, 1 tf32, 2 bf16 — zero keeps old frames meaning
+//	             full precision); bits 1–7 stay reserved and are a bad frame
 //	payload      float32 inputs, 4 bytes each; a traced frame's payload is
 //	             prefixed with a u64 trace id before the inputs
 //
@@ -60,19 +62,28 @@ const (
 	streamBufSize = 64 << 10
 
 	// streamFlagTraced marks a request whose payload leads with a u64 trace
-	// id; the matching responses echo it. All other flag bits stay reserved
-	// (a bad frame), so old clients and servers interoperate unchanged.
+	// id; the matching responses echo it.
 	streamFlagTraced = 0x0001
+	// streamPrecShift positions the precision code in the flags word's high
+	// byte: flags >> streamPrecShift is the rlibm.Precision value, so a
+	// zero flags word still means untraced full precision and old clients
+	// and servers interoperate unchanged. Bits 1–7 stay reserved (a bad
+	// frame).
+	streamPrecShift = 8
+	// streamFlagsKnown is every assigned flags bit; anything outside it is
+	// a bad frame.
+	streamFlagsKnown = uint16(streamFlagTraced) | 0xFF<<streamPrecShift
 )
 
 // Response status codes.
 const (
 	streamOK         = 0 // payload is the float32 result frame
-	streamBadFrame   = 1 // ragged payload or nonzero flags
+	streamBadFrame   = 1 // ragged payload or reserved flags bits set
 	streamBadFunc    = 2 // unknown func code
 	streamBadScheme  = 3 // unknown scheme code
 	streamTooLarge   = 4 // more than MaxBatch elements (the HTTP 413)
 	streamOverloaded = 5 // shed by a bounded queue (the HTTP 429)
+	streamBadPrec    = 6 // unknown precision code in the flags high byte
 )
 
 // appendStreamResponse encodes a response frame onto buf. A nonzero trace
@@ -190,10 +201,15 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 			break
 		}
 		s.streamFrames.Inc()
+		pb := byte(flags >> streamPrecShift)
 		switch {
-		case flags&^uint16(streamFlagTraced) != 0:
+		case flags&^streamFlagsKnown != 0:
 			putByteBuf(bodyp)
-			replyErr(id, streamBadFrame, 0, 0, "nonzero flags")
+			replyErr(id, streamBadFrame, 0, 0, "reserved flags bits set")
+			continue
+		case pb >= rlibm.NumPrecisions:
+			putByteBuf(bodyp)
+			replyErr(id, streamBadPrec, 0, 0, fmt.Sprintf("unknown precision code %d", pb))
 			continue
 		case payloadLen < tracePrefix:
 			putByteBuf(bodyp)
@@ -227,7 +243,7 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 		}
 		sem <- struct{}{} // in-flight window: stop reading when full
 		wg.Add(1)
-		go func(id uint64, f rlibm.Func, sch rlibm.Scheme, bodyp *[]byte, trace obs.TraceID, tracePrefix int) {
+		go func(id uint64, f rlibm.Func, sch rlibm.Scheme, p rlibm.Precision, bodyp *[]byte, trace obs.TraceID, tracePrefix int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			defer putByteBuf(bodyp)
@@ -243,7 +259,7 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 				(*srcp)[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
 			}
 			rs.decode = time.Since(decodeStart)
-			if err := s.eval(f, sch, *dstp, *srcp, &rs); err != nil {
+			if err := s.eval(f, sch, p, *dstp, *srcp, &rs); err != nil {
 				replyErr(id, streamOverloaded, trace, uint16(min64(s.retryAfterMs(), 1<<16-1)),
 					"server overloaded: request shed by bounded queue")
 				return
@@ -258,7 +274,7 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 			reply(id, streamOK, trace, 0, *outp)
 			rs.encode = time.Since(encodeStart)
 			s.observePhases(f, sch, "stream", n, &rs)
-		}(id, rlibm.Func(fb), rlibm.Scheme(sb), bodyp, trace, tracePrefix)
+		}(id, rlibm.Func(fb), rlibm.Scheme(sb), rlibm.Precision(pb), bodyp, trace, tracePrefix)
 	}
 	wg.Wait()    // every accepted request has queued its response
 	close(respc) // writer drains the queue, flushes, and exits

@@ -196,7 +196,7 @@ func TestStreamOverloadStatus(t *testing.T) {
 	})
 	entered := make(chan struct{}, 1)
 	hold := make(chan struct{})
-	srv.coalescers[rlibm.FuncExp][rlibm.Horner].onFlush = func() {
+	srv.coalescers[rlibm.FuncExp][rlibm.Horner][rlibm.PrecFloat32].onFlush = func() {
 		select {
 		case entered <- struct{}{}:
 		default:

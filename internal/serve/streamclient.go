@@ -79,7 +79,15 @@ func NewStreamClient(conn net.Conn) *StreamClient {
 // shed, a descriptive error for in-band rejections, and the transport error
 // if the connection died.
 func (c *StreamClient) Eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error {
-	return c.eval(f, sch, dst, src, 0)
+	return c.eval(f, sch, rlibm.PrecFloat32, dst, src, 0)
+}
+
+// EvalPrec is Eval at an explicit output precision: the precision code rides
+// in the request frame's flags high byte, and the server answers with the
+// narrow format's correctly rounded results (each returned float32 carries
+// the narrow value exactly).
+func (c *StreamClient) EvalPrec(f rlibm.Func, sch rlibm.Scheme, p rlibm.Precision, dst, src []float32) error {
+	return c.eval(f, sch, p, dst, src, 0)
 }
 
 // EvalCtx is Eval carrying the trace context from ctx: when ctx holds a
@@ -87,15 +95,15 @@ func (c *StreamClient) Eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32) 
 // rides ahead of the inputs, and the response's echoed id is verified before
 // the call completes — even when responses arrive out of order.
 func (c *StreamClient) EvalCtx(ctx context.Context, f rlibm.Func, sch rlibm.Scheme, dst, src []float32) error {
-	return c.eval(f, sch, dst, src, obs.TraceFrom(ctx))
+	return c.eval(f, sch, rlibm.PrecFloat32, dst, src, obs.TraceFrom(ctx))
 }
 
 // EvalTraced is Eval with an explicit trace id (0 means untraced).
 func (c *StreamClient) EvalTraced(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, trace obs.TraceID) error {
-	return c.eval(f, sch, dst, src, trace)
+	return c.eval(f, sch, rlibm.PrecFloat32, dst, src, trace)
 }
 
-func (c *StreamClient) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, trace obs.TraceID) error {
+func (c *StreamClient) eval(f rlibm.Func, sch rlibm.Scheme, p rlibm.Precision, dst, src []float32, trace obs.TraceID) error {
 	if len(dst) < len(src) {
 		return errors.New("serve: stream Eval dst shorter than src")
 	}
@@ -110,10 +118,10 @@ func (c *StreamClient) eval(f rlibm.Func, sch rlibm.Scheme, dst, src []float32, 
 	c.pending[id] = call
 	c.mu.Unlock()
 
-	var flags uint16
+	flags := uint16(p) << streamPrecShift
 	tracePrefix := 0
 	if trace != 0 {
-		flags = streamFlagTraced
+		flags |= streamFlagTraced
 		tracePrefix = 8
 	}
 	var hdr [4 + streamHdrLen]byte

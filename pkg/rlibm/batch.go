@@ -1,6 +1,7 @@
 package rlibm
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,12 +38,19 @@ const (
 var maxBatchWorkers atomic.Int32
 
 // SetMaxBatchWorkers caps the number of goroutines one batch call may fan
-// out across; n <= 0 restores the default (GOMAXPROCS). It returns the
-// previous setting. The cap is process-wide: the serving layer sets it from
-// its -j flag so request handling and batch fan-out share one budget.
+// out across and returns the previous setting. The cap only matters for
+// slices of at least 32Ki (1<<15) elements — below that threshold a batch
+// call never fans out and runs on the calling goroutine regardless of the
+// cap; n == 1 disables fan-out entirely. The cap is process-wide: the
+// serving layer sets it from its -j flag so request handling and batch
+// fan-out share one budget.
+//
+// n < 1 is rejected with a panic: 0 used to silently mean "GOMAXPROCS",
+// which masked miswired configuration. Callers that want the default should
+// pass runtime.GOMAXPROCS(0) explicitly.
 func SetMaxBatchWorkers(n int) int {
-	if n < 0 {
-		n = 0
+	if n < 1 {
+		panic(fmt.Sprintf("rlibm: SetMaxBatchWorkers(%d): worker cap must be >= 1", n))
 	}
 	return int(maxBatchWorkers.Swap(int32(n)))
 }
@@ -68,7 +76,7 @@ func EvalBatch(f Func, s Scheme, dst, src []float32) {
 	if len(dst) < len(src) {
 		panic("rlibm: EvalBatch dst shorter than src")
 	}
-	evalBatch(batchKernels[f][s], dst[:len(src)], src)
+	evalBatch(batchKernels[f][s][PrecFloat32], dst[:len(src)], src)
 }
 
 // evalBatch runs batch kernel k over src into dst (equal lengths), fanning

@@ -79,6 +79,11 @@ func TestBatchFanOutIdentical(t *testing.T) {
 	}
 	want := make([]float32, n)
 	prev := SetMaxBatchWorkers(1) // inline reference
+	if prev == 0 {
+		// Process-start default: the internal 0 means GOMAXPROCS but is no
+		// longer accepted by the setter.
+		prev = runtime.GOMAXPROCS(0)
+	}
 	Exp2Batch(want, src)
 	got := make([]float32, n)
 	for _, workers := range []int{2, 3, 8} {
@@ -94,6 +99,31 @@ func TestBatchFanOutIdentical(t *testing.T) {
 		}
 	}
 	SetMaxBatchWorkers(prev)
+}
+
+// TestSetMaxBatchWorkersRejectsNonPositive: 0 used to silently mean
+// "GOMAXPROCS", which masked miswired configuration (a zero-valued config
+// struct would quietly pick a parallelism policy). Now it panics and leaves
+// the cap unchanged.
+func TestSetMaxBatchWorkersRejectsNonPositive(t *testing.T) {
+	prev := SetMaxBatchWorkers(3)
+	if prev == 0 {
+		prev = runtime.GOMAXPROCS(0)
+	}
+	defer SetMaxBatchWorkers(prev)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetMaxBatchWorkers(%d) did not panic", n)
+				}
+			}()
+			SetMaxBatchWorkers(n)
+		}()
+	}
+	if got := SetMaxBatchWorkers(3); got != 3 {
+		t.Errorf("cap changed by rejected call: got %d, want 3", got)
+	}
 }
 
 // TestBatchZeroAllocs: below the fan-out threshold a batch call must not

@@ -1,0 +1,88 @@
+package rlibm
+
+// Evaluator binds one (function, scheme, precision) combination to its
+// generated kernels. Constructing one validates the combination and resolves
+// the kernel dispatch once; Eval and EvalBatch then run with no per-call
+// validation or map lookups, which is the form the serving layer and any
+// long-lived client should hold.
+//
+// The zero Evaluator is not usable; build one with New.
+type Evaluator struct {
+	f Func
+	s Scheme
+	p Precision
+
+	kernel func(float64) float64
+	batch  func(dst, src []float32)
+}
+
+// Option configures New.
+type Option func(*Evaluator)
+
+// WithPrecision selects the output precision the Evaluator serves.
+// PrecFloat32 (the default) runs the full polynomial; narrower precisions
+// run the progressive prefix kernels, whose every result is the correctly
+// rounded value of the narrow format (returned as a float32 that carries the
+// narrow value exactly).
+func WithPrecision(p Precision) Option {
+	return func(e *Evaluator) { e.p = p }
+}
+
+// New returns an Evaluator for function f under scheme s. Invalid
+// combinations are reported as errors enumerating the valid set, making New
+// the natural sink for external input validated by ParseFunc, ParseScheme
+// and ParsePrecision.
+func New(f Func, s Scheme, opts ...Option) (*Evaluator, error) {
+	e := &Evaluator{f: f, s: s, p: PrecFloat32}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if !f.valid() {
+		return nil, errUnknownFunc(f)
+	}
+	if !s.valid() {
+		return nil, errUnknownScheme(s)
+	}
+	if !e.p.valid() {
+		return nil, errUnknownPrecision(e.p)
+	}
+	e.kernel = kernels[f][s][e.p]
+	e.batch = batchKernels[f][s][e.p]
+	return e, nil
+}
+
+// Func returns the evaluator's function.
+func (e *Evaluator) Func() Func { return e.f }
+
+// Scheme returns the evaluator's polynomial-evaluation scheme.
+func (e *Evaluator) Scheme() Scheme { return e.s }
+
+// Prec returns the evaluator's output precision.
+func (e *Evaluator) Prec() Precision { return e.p }
+
+// Eval returns the correctly rounded result at the evaluator's precision.
+// For narrow precisions the returned float32 is exactly a value of the
+// narrow format (bfloat16/tf32 embed exactly in float32).
+func (e *Evaluator) Eval(x float32) float32 {
+	return float32(e.kernel(float64(x)))
+}
+
+// EvalBatch evaluates every element of src into dst, with the same contract
+// as the package-level EvalBatch: dst must be at least as long as src, extra
+// dst capacity is untouched, results are bit-identical to per-element Eval
+// calls, and slices of fanOutThreshold (32Ki) elements or more fan out
+// across goroutines.
+func (e *Evaluator) EvalBatch(dst, src []float32) {
+	if len(dst) < len(src) {
+		panic("rlibm: EvalBatch dst shorter than src")
+	}
+	evalBatch(e.batch, dst[:len(src)], src)
+}
+
+// Kernel returns the raw double-precision kernel: it maps a float64-widened
+// float32 input to the double the evaluator narrows into its float32 result,
+// so float32(e.Kernel()(float64(x))) == e.Eval(x) bit for bit. At full
+// precision the double lies in the 34-bit round-to-odd interval of the exact
+// result; at narrow precisions it is already the correctly rounded narrow
+// value.
+func (e *Evaluator) Kernel() func(float64) float64 { return e.kernel }

@@ -21,6 +21,9 @@ package rlibm
 
 import (
 	"fmt"
+	"math"
+	"strings"
+	"sync"
 
 	"rlibm/internal/libm"
 )
@@ -58,11 +61,12 @@ func (s Scheme) String() string {
 
 func (s Scheme) valid() bool { return s >= Horner && s <= EstrinFMA }
 
-// ParseScheme resolves a scheme name. It accepts the canonical names
-// ("rlibm", "rlibm-knuth", "rlibm-estrin", "rlibm-estrin-fma") and the
-// short generator spellings ("horner", "knuth", "estrin", "estrin-fma").
+// ParseScheme resolves a scheme name, case-insensitively. It accepts the
+// canonical names ("rlibm", "rlibm-knuth", "rlibm-estrin",
+// "rlibm-estrin-fma") and the short generator spellings ("horner", "knuth",
+// "estrin", "estrin-fma").
 func ParseScheme(name string) (Scheme, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "rlibm", "horner":
 		return Horner, nil
 	case "rlibm-knuth", "knuth":
@@ -72,7 +76,15 @@ func ParseScheme(name string) (Scheme, error) {
 	case "rlibm-estrin-fma", "estrin-fma":
 		return EstrinFMA, nil
 	}
-	return 0, fmt.Errorf("rlibm: unknown scheme %q", name)
+	return 0, errUnknownScheme(name)
+}
+
+func errUnknownScheme(v any) error {
+	names := make([]string, NumSchemes)
+	for i, s := range Schemes {
+		names[i] = s.String()
+	}
+	return fmt.Errorf("rlibm: unknown scheme %q (valid: %s)", fmt.Sprint(v), strings.Join(names, ", "))
 }
 
 // Func identifies one of the six elementary functions.
@@ -106,57 +118,107 @@ func (f Func) String() string {
 func (f Func) valid() bool { return f >= FuncExp && f < NumFuncs }
 
 // ParseFunc resolves a function name ("exp", "exp2", "exp10", "log", "log2",
-// "log10").
+// "log10"), case-insensitively.
 func ParseFunc(name string) (Func, error) {
+	lower := strings.ToLower(name)
 	for i, n := range funcNames {
-		if n == name {
+		if n == lower {
 			return Func(i), nil
 		}
 	}
-	return 0, fmt.Errorf("rlibm: unknown function %q", name)
+	return 0, errUnknownFunc(name)
 }
 
-// kernels indexes the straight-line generated backend by (function, scheme).
-// Resolving a kernel once and looping over it is the batch fast path; the
-// scalar entry points go through the same kernels so batch and scalar
-// results are bit-identical by construction.
-var kernels [NumFuncs][NumSchemes]func(float64) float64
+func errUnknownFunc(v any) error {
+	return fmt.Errorf("rlibm: unknown function %q (valid: %s)", fmt.Sprint(v), strings.Join(funcNames[:], ", "))
+}
+
+func errUnknownPrecision(v any) error {
+	return fmt.Errorf("rlibm: unknown precision %q (valid: %s)", fmt.Sprint(v), strings.Join(precNames[:], ", "))
+}
+
+// kernels indexes the straight-line generated backend by (function, scheme,
+// precision). Resolving a kernel once and looping over it is the batch fast
+// path; the scalar entry points go through the same kernels so batch and
+// scalar results are bit-identical by construction. Precision index 0 is the
+// full float32 kernel; narrower precisions hold the progressive prefix
+// kernels.
+var kernels [NumFuncs][NumSchemes][NumPrecisions]func(float64) float64
 
 // batchKernels indexes the generated batch backend the same way: blocked
 // in-place kernels with the polynomial body inlined into the loop, the form
 // EvalBatch dispatches to.
-var batchKernels [NumFuncs][NumSchemes]func(dst, src []float32)
+var batchKernels [NumFuncs][NumSchemes][NumPrecisions]func(dst, src []float32)
 
 func init() {
 	for fi, f := range Funcs {
 		for si, s := range Schemes {
 			key := f.String() + "/" + s.String()
-			k := libm.GeneratedFuncs[key]
-			bk := libm.GeneratedBatchFuncs[key]
-			if k == nil || bk == nil {
-				panic("rlibm: missing generated kernel " + key)
+			for pi, p := range Precisions {
+				k, bk := libm.GeneratedFuncs[key], libm.GeneratedBatchFuncs[key]
+				if p != PrecFloat32 {
+					pkey := key + "/" + p.String()
+					k, bk = libm.GeneratedPrefixFuncs[pkey], libm.GeneratedPrefixBatchFuncs[pkey]
+				}
+				if k == nil || bk == nil {
+					panic("rlibm: missing generated kernel " + key + "/" + p.String())
+				}
+				if p == PrecBfloat16 {
+					bk = bf16Batch(f.String(), k)
+				}
+				kernels[fi][si][pi] = k
+				batchKernels[fi][si][pi] = bk
 			}
-			kernels[fi][si] = k
-			batchKernels[fi][si] = bk
 		}
 	}
 }
 
-// Kernel returns the raw double-precision kernel of (f, s): it maps a
-// float64-widened float32 input to a double lying in the 34-bit round-to-odd
-// rounding interval of the exact result. Harness code (benchmarks, the
-// serving layer's verification) uses it to reproduce batch outputs exactly:
+// bf16Batch is the bfloat16 batch kernel with the memo-table fast path: an
+// input that is a bfloat16 value (any float32 whose low 16 bits are zero —
+// the whole 2^16 space, specials included) is answered with one load from a
+// per-function result table; anything else runs the prefix kernel. The
+// table is built lazily from the same prefix kernel, so both branches are
+// bit-identical to scalar evaluation by construction, and it is shared
+// across schemes because every scheme's prefix computes the identical
+// correctly rounded bfloat16 result.
+func bf16Batch(fname string, kern func(float64) float64) func(dst, src []float32) {
+	var once sync.Once
+	var tab *[1 << 16]uint32
+	return func(dst, src []float32) {
+		once.Do(func() {
+			if tab = libm.Bf16Table(fname); tab == nil {
+				panic("rlibm: no bf16 prefix kernel for " + fname)
+			}
+		})
+		for i, x := range src {
+			if b := math.Float32bits(x); b&0xFFFF == 0 {
+				dst[i] = math.Float32frombits(tab[b>>16])
+			} else {
+				dst[i] = float32(kern(float64(x)))
+			}
+		}
+	}
+}
+
+// Kernel returns the raw double-precision kernel of (f, s) at full
+// precision: it maps a float64-widened float32 input to a double lying in
+// the 34-bit round-to-odd rounding interval of the exact result, so
 // float32(Kernel(f, s)(float64(x))) == Eval(f, s, x) bit for bit.
+//
+// Deprecated: use New and Evaluator.Kernel, which validate the combination,
+// cover the narrow precisions, and return errors instead of nil.
 func Kernel(f Func, s Scheme) func(float64) float64 {
 	if !f.valid() || !s.valid() {
 		return nil
 	}
-	return kernels[f][s]
+	return kernels[f][s][PrecFloat32]
 }
 
 // Eval returns the correctly rounded float32 result of function f at x using
-// scheme s. It panics if f or s is out of range; use ParseFunc/ParseScheme
-// to validate external input first.
+// scheme s, at full precision. It panics if f or s is out of range; use
+// ParseFunc/ParseScheme to validate external input first, or New, which
+// returns errors instead. For narrow output precisions build an Evaluator
+// with WithPrecision.
 func Eval(f Func, s Scheme, x float32) float32 {
 	if !f.valid() {
 		panic("rlibm: invalid Func")
@@ -164,23 +226,27 @@ func Eval(f Func, s Scheme, x float32) float32 {
 	if !s.valid() {
 		panic("rlibm: invalid Scheme")
 	}
-	return float32(kernels[f][s](float64(x)))
+	return float32(kernels[f][s][PrecFloat32](float64(x)))
 }
 
 // Exp returns the correctly rounded e^x (Estrin+FMA variant).
-func Exp(x float32) float32 { return float32(kernels[FuncExp][EstrinFMA](float64(x))) }
+func Exp(x float32) float32 { return float32(kernels[FuncExp][EstrinFMA][PrecFloat32](float64(x))) }
 
 // Exp2 returns the correctly rounded 2^x (Estrin+FMA variant).
-func Exp2(x float32) float32 { return float32(kernels[FuncExp2][EstrinFMA](float64(x))) }
+func Exp2(x float32) float32 { return float32(kernels[FuncExp2][EstrinFMA][PrecFloat32](float64(x))) }
 
 // Exp10 returns the correctly rounded 10^x (Estrin+FMA variant).
-func Exp10(x float32) float32 { return float32(kernels[FuncExp10][EstrinFMA](float64(x))) }
+func Exp10(x float32) float32 {
+	return float32(kernels[FuncExp10][EstrinFMA][PrecFloat32](float64(x)))
+}
 
 // Log returns the correctly rounded natural logarithm (Estrin+FMA variant).
-func Log(x float32) float32 { return float32(kernels[FuncLog][EstrinFMA](float64(x))) }
+func Log(x float32) float32 { return float32(kernels[FuncLog][EstrinFMA][PrecFloat32](float64(x))) }
 
 // Log2 returns the correctly rounded base-2 logarithm (Estrin+FMA variant).
-func Log2(x float32) float32 { return float32(kernels[FuncLog2][EstrinFMA](float64(x))) }
+func Log2(x float32) float32 { return float32(kernels[FuncLog2][EstrinFMA][PrecFloat32](float64(x))) }
 
 // Log10 returns the correctly rounded base-10 logarithm (Estrin+FMA variant).
-func Log10(x float32) float32 { return float32(kernels[FuncLog10][EstrinFMA](float64(x))) }
+func Log10(x float32) float32 {
+	return float32(kernels[FuncLog10][EstrinFMA][PrecFloat32](float64(x)))
+}
