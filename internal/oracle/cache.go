@@ -75,15 +75,12 @@ func (c *Cache) AttachStore(s *Store) {
 		return
 	}
 	c.store = s
-	s.mu.Lock()
-	entries := s.entries
-	s.mu.Unlock()
-	for k, y := range entries {
+	s.forEach(func(k cacheKey, y float64) {
 		sh := &c.shards[c.stripe(k)]
 		sh.mu.Lock()
 		sh.m[k] = y
 		sh.mu.Unlock()
-	}
+	})
 }
 
 // Correct is the memoized equivalent of the package-level Correct: the

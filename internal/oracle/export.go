@@ -1,0 +1,146 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Export, Import and Merge turn a store's segments into mergeable artifacts:
+// a verification shard computed on one machine exports its warm cache to a
+// single segment file, and any other store imports it — so a distributed
+// campaign's shards combine into one fleet-wide warm oracle cache. The
+// exported file is an ordinary store segment (same header, record layout,
+// CRC trailer and version gate), so every validation and quarantine path of
+// the normal open sequence applies to foreign artifacts too.
+
+// Export writes every entry currently in the store — loaded at open plus
+// this run's appends so far — to a single sealed segment file at path,
+// sorted by (function, input bits, format, mode) so identical entry sets
+// export byte-for-byte identically. The destination directory must exist.
+// Returns the number of records written (an empty store exports a valid
+// zero-record segment).
+func (s *Store) Export(path string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("oracle: export from closed store")
+	}
+	w, err := newSegWriter(filepath.Dir(path), "export", s.opts.NoSync)
+	if err != nil {
+		return 0, err
+	}
+	keys := sortedKeys(s.entries)
+	for _, k := range keys {
+		if err := w.append(k, s.entries[k]); err != nil {
+			w.abort()
+			return 0, err
+		}
+	}
+	if _, err := w.sealTo(path); err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// ImportResult describes one Import outcome.
+type ImportResult struct {
+	// Added counts novel records adopted into the store (persisted through
+	// this run's write logs, sealed at Close).
+	Added int
+	// Skipped counts records the store already held with identical bits.
+	Skipped int
+	// Quarantined reports that the file failed validation: a copy was placed
+	// in the store directory with a .quarantined suffix for inspection and
+	// nothing was adopted. Cause carries the validation failure.
+	Quarantined bool
+	Cause       string
+}
+
+// Import validates the segment file at path and adopts its records into the
+// store. A file that fails validation (bad magic, version mismatch, CRC or
+// count mismatch, impossible record) is copied aside into the store
+// directory as *.quarantined and reported via ImportResult.Quarantined — a
+// corrupt shard costs recomputation, never a failed campaign and never wrong
+// values. The source file is left untouched either way.
+//
+// Records already present with identical bits are skipped, so importing the
+// same artifact twice (or merging overlapping shards) is idempotent: the
+// second import adopts nothing and writes nothing. Call Import before
+// Cache.AttachStore so the adopted entries warm the in-memory stripes.
+func (s *Store) Import(path string) (ImportResult, error) {
+	var res ImportResult
+	if s.opts.ReadOnly {
+		return res, fmt.Errorf("oracle: import into read-only store %s", s.dir)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	recs, perr := parseSegment(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return res, fmt.Errorf("oracle: import into closed store")
+	}
+	if perr != nil {
+		dst := dedupePath(filepath.Join(s.dir, "import-"+filepath.Base(path)+quarantineSuffix))
+		if werr := os.WriteFile(dst, data, 0o644); werr != nil {
+			return res, fmt.Errorf("oracle: quarantining corrupt import %s: %w", path, werr)
+		}
+		s.stats.Quarantined++
+		storeMetrics().quarantined.Inc()
+		res.Quarantined = true
+		res.Cause = perr.Error()
+		return res, nil
+	}
+	for _, r := range recs {
+		if y, ok := s.entries[r.k]; ok && math.Float64bits(y) == math.Float64bits(r.y) {
+			res.Skipped++
+			continue
+		}
+		s.appendLocked(r.k, r.y)
+		res.Added++
+		s.stats.ImportedEntries++
+	}
+	if s.writeErr != nil {
+		return res, fmt.Errorf("oracle: import into %s: %w", s.dir, s.writeErr)
+	}
+	return res, nil
+}
+
+// MergeResult aggregates a Merge over a directory of segments.
+type MergeResult struct {
+	Files       int
+	Added       int
+	Skipped     int
+	Quarantined int
+}
+
+// Merge imports every segment file (*.seg) under dir in lexical order:
+// the way shards computed on different machines combine into one warm
+// cache. Per-file corruption quarantines (see Import) and the merge
+// continues; only I/O errors stop it.
+func (s *Store) Merge(dir string) (MergeResult, error) {
+	var res MergeResult
+	names, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil {
+		return res, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ir, err := s.Import(name)
+		if err != nil {
+			return res, err
+		}
+		res.Files++
+		res.Added += ir.Added
+		res.Skipped += ir.Skipped
+		if ir.Quarantined {
+			res.Quarantined++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,251 @@
+package oracle
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rlibm/internal/fp"
+)
+
+// exportTo opens dir, exports its full entry set to path, and closes.
+func exportTo(t *testing.T, dir, path string) int {
+	t.Helper()
+	st, err := OpenStore(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n, err := st.Export(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestExportImportRoundTrip: entries exported from one store come back, bit
+// for bit, from an Import into a fresh store in another directory — both
+// live in that store's session and from its sealed segments on reopen.
+func TestExportImportRoundTrip(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	xs := []float64{0.5, 1.25, -0.75, 3.5, 0.1}
+	want := fillStore(t, src, Exp, xs)
+	art := filepath.Join(t.TempDir(), "shard.seg")
+	if n := exportTo(t, src, art); n != len(xs) {
+		t.Fatalf("exported %d records, want %d", n, len(xs))
+	}
+
+	st, err := OpenStore(dst, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Import(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != len(xs) || res.Skipped != 0 || res.Quarantined {
+		t.Fatalf("import = %+v, want %d added", res, len(xs))
+	}
+	if st.Stats().ImportedEntries != int64(len(xs)) {
+		t.Fatalf("ImportedEntries = %d, want %d", st.Stats().ImportedEntries, len(xs))
+	}
+	c := NewCache(0)
+	c.AttachStore(st)
+	for _, x := range xs {
+		y, ok := c.Lookup(Exp, x, fp.FP34, fp.RTO)
+		if !ok {
+			t.Fatalf("Lookup(exp, %g) missed after import", x)
+		}
+		if math.Float64bits(y) != math.Float64bits(want[x]) {
+			t.Errorf("exp(%g): imported %g, want %g", x, y, want[x])
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dst, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().LoadedEntries; got != len(xs) {
+		t.Fatalf("reloaded %d entries after import, want %d", got, len(xs))
+	}
+}
+
+// TestExportDeterministic: the same entry set exports byte-for-byte
+// identically (the artifact is content-addressable across machines).
+func TestExportDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	fillStore(t, dir, Log2, []float64{0.5, 2, 3, 7.25})
+	a := filepath.Join(t.TempDir(), "a.seg")
+	b := filepath.Join(t.TempDir(), "b.seg")
+	exportTo(t, dir, a)
+	exportTo(t, dir, b)
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatal("two exports of the same entry set differ")
+	}
+}
+
+// TestMergeOverlappingIdempotent: merging two overlapping shard exports
+// yields the union; merging them again adopts nothing and writes nothing.
+func TestMergeOverlappingIdempotent(t *testing.T) {
+	srcA, srcB := t.TempDir(), t.TempDir()
+	fillStore(t, srcA, Exp2, []float64{0.5, 1.5, 2.5})
+	fillStore(t, srcB, Exp2, []float64{1.5, 2.5, 3.5, 4.5}) // overlaps A on two inputs
+
+	shards := t.TempDir()
+	exportTo(t, srcA, filepath.Join(shards, "a.seg"))
+	exportTo(t, srcB, filepath.Join(shards, "b.seg"))
+
+	dst := t.TempDir()
+	st, err := OpenStore(dst, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Merge(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 2 || res.Added != 5 || res.Skipped != 2 || res.Quarantined != 0 {
+		t.Fatalf("first merge = %+v, want 2 files, 5 added, 2 skipped", res)
+	}
+	res2, err := st.Merge(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Added != 0 || res2.Skipped != 7 {
+		t.Fatalf("second merge = %+v, want 0 added, all 7 records skipped", res2)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The union persisted exactly once: 5 records on disk, and a third
+	// session's re-merge still adopts nothing.
+	st2, err := OpenStore(dst, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().LoadedEntries; got != 5 {
+		t.Fatalf("reloaded %d entries, want 5", got)
+	}
+	res3, err := st2.Merge(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Added != 0 || res3.Skipped != 7 {
+		t.Fatalf("post-reopen merge = %+v, want 0 added, all 7 records skipped", res3)
+	}
+}
+
+// TestImportCorruptQuarantines: a corrupt artifact is copied aside as
+// *.quarantined, adopts nothing, fails nothing, and leaves the source file
+// untouched. The store keeps working afterwards.
+func TestImportCorruptQuarantines(t *testing.T) {
+	src := t.TempDir()
+	fillStore(t, src, Log, []float64{0.5, 2, 8})
+	art := filepath.Join(t.TempDir(), "shard.seg")
+	exportTo(t, src, art)
+	data, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // flip a payload bit: CRC mismatch
+	if err := os.WriteFile(art, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := t.TempDir()
+	st, err := OpenStore(dst, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Import(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quarantined || res.Added != 0 || res.Cause == "" {
+		t.Fatalf("import of corrupt artifact = %+v, want quarantined with cause", res)
+	}
+	if st.Stats().Quarantined != 1 {
+		t.Fatalf("Quarantined stat = %d, want 1", st.Stats().Quarantined)
+	}
+	qs, err := filepath.Glob(filepath.Join(dst, "*"+quarantineSuffix))
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("quarantined copies in store dir: %v (err %v), want exactly 1", qs, err)
+	}
+	if _, err := os.Stat(art); err != nil {
+		t.Fatalf("source artifact touched by quarantine: %v", err)
+	}
+	// The store still accepts work and seals cleanly.
+	c := NewCache(0)
+	c.AttachStore(st)
+	c.Correct(Log, 3, fp.FP34, fp.RTO)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImportReadOnlyRejected: a read-only store refuses imports outright.
+func TestImportReadOnlyRejected(t *testing.T) {
+	src := t.TempDir()
+	fillStore(t, src, Exp, []float64{0.5})
+	art := filepath.Join(t.TempDir(), "shard.seg")
+	exportTo(t, src, art)
+
+	st, err := OpenStore(t.TempDir(), StoreOptions{ReadOnly: true, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Import(art); err == nil {
+		t.Fatal("import into read-only store succeeded, want error")
+	}
+}
+
+// TestExportIncludesFreshAppends: an export taken mid-session carries the
+// results computed in that session, not just what was loaded at open.
+func TestExportIncludesFreshAppends(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.AttachStore(st)
+	want := c.Correct(Exp, 0.625, fp.FP34, fp.RTO)
+	art := filepath.Join(t.TempDir(), "mid.seg")
+	if n, err := st.Export(art); err != nil || n != 1 {
+		t.Fatalf("mid-session export = %d, %v; want 1 record", n, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(t.TempDir(), StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if res, err := st2.Import(art); err != nil || res.Added != 1 {
+		t.Fatalf("import = %+v, %v; want 1 added", res, err)
+	}
+	c2 := NewCache(0)
+	c2.AttachStore(st2)
+	y, ok := c2.Lookup(Exp, 0.625, fp.FP34, fp.RTO)
+	if !ok || math.Float64bits(y) != math.Float64bits(want) {
+		t.Fatalf("Lookup after import = %g, %v; want %g", y, ok, want)
+	}
+}

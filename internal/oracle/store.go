@@ -73,8 +73,12 @@ type StoreStats struct {
 	// LoadedEntries is the number of records read from disk at open
 	// (duplicates across segments count once per occurrence).
 	LoadedEntries int `json:"loaded_entries"`
-	// AppendedEntries is the number of fresh results recorded this run.
+	// AppendedEntries is the number of fresh results recorded this run
+	// (including imported records, which flow through the same write logs).
 	AppendedEntries int64 `json:"appended_entries"`
+	// ImportedEntries is the number of novel records adopted from imported
+	// segments this run (a subset of AppendedEntries).
+	ImportedEntries int64 `json:"imported_entries,omitempty"`
 	// Quarantined counts segments renamed aside for failing validation.
 	Quarantined int `json:"quarantined"`
 	// Compacted reports whether this open rewrote the segments.
@@ -160,58 +164,85 @@ func (s *Store) loadSegment(name string) (records int, size int64, err error) {
 		return 0, 0, err
 	}
 	size = int64(len(data))
+	recs, err := parseSegment(data)
+	if err != nil {
+		return 0, size, err
+	}
+	for _, r := range recs {
+		s.entries[r.k] = r.y
+	}
+	return len(recs), size, nil
+}
+
+// segRecord is one decoded segment record.
+type segRecord struct {
+	k cacheKey
+	y float64
+}
+
+// parseSegment validates a whole segment image (header, trailer, CRC, record
+// plausibility) and decodes its records. It is the single reader of the
+// on-disk format, shared by segment loading and Import.
+func parseSegment(data []byte) ([]segRecord, error) {
 	if len(data) < segHeaderLen+segTrailerLen {
-		return 0, size, fmt.Errorf("truncated segment (%d bytes)", len(data))
+		return nil, fmt.Errorf("truncated segment (%d bytes)", len(data))
 	}
 	if string(data[:4]) != segMagic {
-		return 0, size, fmt.Errorf("bad magic %q", data[:4])
+		return nil, fmt.Errorf("bad magic %q", data[:4])
 	}
 	if v := binary.LittleEndian.Uint32(data[4:8]); v != StoreVersion {
-		return 0, size, fmt.Errorf("segment version %d, want %d", v, StoreVersion)
+		return nil, fmt.Errorf("segment version %d, want %d", v, StoreVersion)
 	}
 	payload := data[segHeaderLen : len(data)-segTrailerLen]
 	trailer := data[len(data)-segTrailerLen:]
 	if string(trailer[:4]) != segEndMagic {
-		return 0, size, fmt.Errorf("bad trailer magic %q", trailer[:4])
+		return nil, fmt.Errorf("bad trailer magic %q", trailer[:4])
 	}
 	count := binary.LittleEndian.Uint64(trailer[4:12])
 	if uint64(len(payload)) != count*segRecordLen {
-		return 0, size, fmt.Errorf("record count %d does not match payload of %d bytes", count, len(payload))
+		return nil, fmt.Errorf("record count %d does not match payload of %d bytes", count, len(payload))
 	}
 	if crc := binary.LittleEndian.Uint32(trailer[12:16]); crc != crc32.ChecksumIEEE(payload) {
-		return 0, size, fmt.Errorf("CRC mismatch")
+		return nil, fmt.Errorf("CRC mismatch")
 	}
+	recs := make([]segRecord, 0, count)
 	for off := 0; off < len(payload); off += segRecordLen {
 		rec := payload[off : off+segRecordLen]
 		fn := Func(rec[0])
 		if int(fn) < 0 || int(fn) >= numFuncs {
-			return 0, size, fmt.Errorf("record %d: impossible function %d", off/segRecordLen, rec[0])
+			return nil, fmt.Errorf("record %d: impossible function %d", off/segRecordLen, rec[0])
 		}
-		k := cacheKey{
-			fn:   fn,
-			t:    fp.Format{Bits: int(rec[1]), ExpBits: int(rec[2])},
-			mode: fp.Mode(rec[3]),
-			bits: binary.LittleEndian.Uint64(rec[4:12]),
-		}
-		s.entries[k] = math.Float64frombits(binary.LittleEndian.Uint64(rec[12:20]))
-		records++
+		recs = append(recs, segRecord{
+			k: cacheKey{
+				fn:   fn,
+				t:    fp.Format{Bits: int(rec[1]), ExpBits: int(rec[2])},
+				mode: fp.Mode(rec[3]),
+				bits: binary.LittleEndian.Uint64(rec[4:12]),
+			},
+			y: math.Float64frombits(binary.LittleEndian.Uint64(rec[12:20])),
+		})
 	}
-	return records, size, nil
+	return recs, nil
 }
 
 // quarantine renames a failed segment aside so the next open does not trip
 // over it again, and so an operator can inspect it.
 func (s *Store) quarantine(name string, cause error) {
-	dst := name + quarantineSuffix
-	for i := 2; ; i++ {
-		if _, err := os.Stat(dst); os.IsNotExist(err) {
-			break
-		}
-		dst = fmt.Sprintf("%s%s.%d", name, quarantineSuffix, i)
-	}
-	_ = os.Rename(name, dst)
+	_ = os.Rename(name, dedupePath(name+quarantineSuffix))
 	s.stats.Quarantined++
 	storeMetrics().quarantined.Inc()
+}
+
+// dedupePath returns dst, or dst.2, dst.3, ... — the first name that does
+// not already exist.
+func dedupePath(dst string) string {
+	try := dst
+	for i := 2; ; i++ {
+		if _, err := os.Stat(try); os.IsNotExist(err) {
+			return try
+		}
+		try = fmt.Sprintf("%s.%d", dst, i)
+	}
 }
 
 // compact rewrites every loaded entry into one fresh segment and deletes the
@@ -226,29 +257,7 @@ func (s *Store) compact() error {
 	if err != nil {
 		return err
 	}
-	keys := make([]cacheKey, 0, len(s.entries))
-	for k := range s.entries {
-		keys = append(keys, k)
-	}
-	// Sorted by (function, input bits): the compacted segment is the
-	// "compacted index" of the format — binary-searchable offline and
-	// byte-for-byte reproducible from the same entry set.
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.fn != b.fn {
-			return a.fn < b.fn
-		}
-		if a.bits != b.bits {
-			return a.bits < b.bits
-		}
-		if a.t.Bits != b.t.Bits {
-			return a.t.Bits < b.t.Bits
-		}
-		if a.t.ExpBits != b.t.ExpBits {
-			return a.t.ExpBits < b.t.ExpBits
-		}
-		return a.mode < b.mode
-	})
+	keys := sortedKeys(s.entries)
 	for _, k := range keys {
 		if err := w.append(k, s.entries[k]); err != nil {
 			w.abort()
@@ -270,6 +279,34 @@ func (s *Store) compact() error {
 	return nil
 }
 
+// sortedKeys returns the entry keys sorted by (function, input bits, format,
+// mode): a segment written in this order is the "compacted index" of the
+// format — binary-searchable offline and byte-for-byte reproducible from the
+// same entry set. Compaction and Export share it.
+func sortedKeys(entries map[cacheKey]float64) []cacheKey {
+	keys := make([]cacheKey, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.fn != b.fn {
+			return a.fn < b.fn
+		}
+		if a.bits != b.bits {
+			return a.bits < b.bits
+		}
+		if a.t.Bits != b.t.Bits {
+			return a.t.Bits < b.t.Bits
+		}
+		if a.t.ExpBits != b.t.ExpBits {
+			return a.t.ExpBits < b.t.ExpBits
+		}
+		return a.mode < b.mode
+	})
+	return keys
+}
+
 // Append records one freshly computed oracle result. No-op in read-only
 // mode, after Close, or after a write error (which Close reports).
 func (s *Store) Append(k cacheKey, y float64) {
@@ -281,6 +318,13 @@ func (s *Store) Append(k cacheKey, y float64) {
 	if s.closed || s.writeErr != nil {
 		return
 	}
+	s.appendLocked(k, y)
+}
+
+// appendLocked writes one record to the per-function write log and mirrors
+// it into s.entries, so Export and Import dedup see this run's fresh results
+// too. Caller holds s.mu and has checked closed/writeErr.
+func (s *Store) appendLocked(k cacheKey, y float64) {
 	w := s.writers[k.fn]
 	if w == nil {
 		var err error
@@ -295,8 +339,20 @@ func (s *Store) Append(k cacheKey, y float64) {
 		s.writeErr = err
 		return
 	}
+	s.entries[k] = y
 	s.stats.AppendedEntries++
 	storeMetrics().appended.Inc()
+}
+
+// forEach calls f for every entry currently in the store (loaded at open
+// plus this run's appends) under the store lock. Used by Cache.AttachStore,
+// which must not race a concurrent Append mutating the entry map.
+func (s *Store) forEach(f func(cacheKey, float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, y := range s.entries {
+		f(k, y)
+	}
 }
 
 // Close seals this run's write logs into immutable segments (trailer, fsync,
@@ -432,6 +488,14 @@ func (w *segWriter) seal() (int64, error) {
 		w.abort()
 		return 0, nil
 	}
+	dst := filepath.Join(w.dir, fmt.Sprintf("seg-%s-%s%s", w.label, nextNonce(), segSuffix))
+	return w.sealTo(dst)
+}
+
+// sealTo seals the write log into dst (trailer, fsync, atomic rename),
+// keeping empty logs: an exported empty store is a valid zero-record
+// segment, not a missing file.
+func (w *segWriter) sealTo(dst string) (int64, error) {
 	var tr [segTrailerLen]byte
 	copy(tr[:4], segEndMagic)
 	binary.LittleEndian.PutUint64(tr[4:12], w.count)
@@ -459,7 +523,6 @@ func (w *segWriter) seal() (int64, error) {
 		_ = os.Remove(w.tmp)
 		return 0, err
 	}
-	dst := filepath.Join(w.dir, fmt.Sprintf("seg-%s-%s%s", w.label, nextNonce(), segSuffix))
 	if err := os.Rename(w.tmp, dst); err != nil {
 		_ = os.Remove(w.tmp)
 		return 0, err
