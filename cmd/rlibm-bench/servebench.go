@@ -50,6 +50,17 @@ type serveBenchReport struct {
 	BatchNsPerElem  float64 `json:"batch_ns_per_elem"`
 	BatchSpeedupPct float64 `json:"batch_speedup_pct"`
 
+	// Backends is the batch-kernel backend comparison: one row per concrete
+	// backend the machine offers (go, vector, and asm where the conversion
+	// staging exists), each timing EvalBatch over identical sweeps against
+	// the same per-call scalar Eval baseline, per function and averaged. All
+	// backends are bit-identical, so the rows differ only in ns/elem. CI
+	// gates the vector row on exp and log2 at <=
+	// max_vector_scalar_ratio x the scalar ns/elem from the same run
+	// (ci/vector-baseline.json) — a ratio, like the other serve gates, so
+	// runner speed divides out.
+	Backends []backendBenchReport `json:"backends,omitempty"`
+
 	// MixedPrecision is the progressive-polynomial section: per-element sweep
 	// cost at each output precision (the narrow rows run the prefix kernels,
 	// which evaluate fewer polynomial terms), plus bit-exact verification of
@@ -248,6 +259,7 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 	}
 	rep.ScalarNsPerElem, rep.BatchNsPerElem = benchDispatch(batchElems, rounds, seed)
 	rep.BatchSpeedupPct = (rep.ScalarNsPerElem/rep.BatchNsPerElem - 1) * 100
+	rep.Backends = benchBackends(batchElems, rounds, seed)
 	rep.MixedPrecision, rep.MixedCanary = benchPrecisions(batchElems, rounds, seed, canaryRate)
 
 	fmt.Printf("  %d requests (%d elems) in %v: %.0f req/s, %.1f Melem/s\n",
@@ -255,6 +267,15 @@ func benchServe(clients, reqsPerClient, batchElems, rounds, smallReqs, smallElem
 	fmt.Printf("  latency p50 %.0f us   p90 %.0f us   p99 %.0f us\n", rep.P50Us, rep.P90Us, rep.P99Us)
 	fmt.Printf("  scalar dispatch %.2f ns/elem   batch %.2f ns/elem   (batch %.1f%% faster)\n",
 		rep.ScalarNsPerElem, rep.BatchNsPerElem, rep.BatchSpeedupPct)
+	for _, row := range rep.Backends {
+		mark := ""
+		if row.Default {
+			mark = "   (auto)"
+		}
+		fmt.Printf("  backend %-7s %.2f ns/elem   %.2fx vs scalar   (exp %.2fx, log2 %.2fx)%s\n",
+			row.Backend, row.NsPerElem, row.VsScalarX,
+			row.FuncVsScalarX["exp"], row.FuncVsScalarX["log2"], mark)
+	}
 	if rep.Mismatches != 0 {
 		fmt.Fprintf(os.Stderr, "rlibm-bench: %d responses not bit-identical to direct kernel calls\n", rep.Mismatches)
 		os.Exit(1)
@@ -384,6 +405,100 @@ func benchDispatch(n, rounds int, seed int64) (scalarNs, batchNs float64) {
 		fmt.Fprint(os.Stderr, "")
 	}
 	return scalarNs / float64(len(rlibm.Funcs)), batchNs / float64(len(rlibm.Funcs))
+}
+
+// backendBenchReport is one row of the per-backend section: per-element batch
+// cost under one backend, per function and averaged, with the speedup over
+// the per-call scalar Eval baseline measured in the same pass.
+type backendBenchReport struct {
+	Backend string `json:"backend"`
+	// Default marks the row BackendAuto resolves to on this machine — the
+	// backend the serving layer and package-level batch calls actually run.
+	Default       bool               `json:"default,omitempty"`
+	NsPerElem     float64            `json:"ns_per_elem"`
+	VsScalarX     float64            `json:"speedup_vs_scalar_x"`
+	FuncNsPerElem map[string]float64 `json:"func_ns_per_elem"`
+	FuncVsScalarX map[string]float64 `json:"func_speedup_vs_scalar_x"`
+}
+
+// benchBackends times EvalBatch under every backend the machine offers over
+// identical sweeps (best of rounds, Estrin+FMA, full precision), against one
+// shared per-call scalar Eval baseline. The scalar baseline is timed once
+// per function — it is backend-independent by construction.
+func benchBackends(n, rounds int, seed int64) []backendBenchReport {
+	backends, err := rlibm.Backends(rlibm.FuncExp, rlibm.EstrinFMA, rlibm.PrecFloat32)
+	if err != nil {
+		fatal(err)
+	}
+	src := make([]float32, n)
+	dst := make([]float32, n)
+	rng := rand.New(rand.NewSource(seed))
+	var sink float32
+
+	scalarNs := map[string]float64{}
+	sweeps := map[string][]float32{}
+	for _, f := range rlibm.Funcs {
+		ev, err := rlibm.New(f, rlibm.EstrinFMA)
+		if err != nil {
+			fatal(err)
+		}
+		fillSweep32(src, f, rng)
+		sweeps[f.String()] = append([]float32(nil), src...)
+		best := math.Inf(1)
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			for i, x := range src {
+				dst[i] = ev.Eval(x)
+			}
+			if ns := time.Since(t0).Seconds() * 1e9 / float64(n); ns < best {
+				best = ns
+			}
+			sink += dst[0]
+		}
+		scalarNs[f.String()] = best
+	}
+
+	var auto rlibm.Backend
+	if ev, err := rlibm.New(rlibm.FuncExp, rlibm.EstrinFMA); err == nil {
+		auto = ev.Backend()
+	}
+	out := make([]backendBenchReport, 0, len(backends))
+	for _, b := range backends {
+		row := backendBenchReport{
+			Backend:       b.String(),
+			Default:       b == auto,
+			FuncNsPerElem: map[string]float64{},
+			FuncVsScalarX: map[string]float64{},
+		}
+		var sumNs, sumScalar float64
+		for _, f := range rlibm.Funcs {
+			ev, err := rlibm.New(f, rlibm.EstrinFMA, rlibm.WithBackend(b))
+			if err != nil {
+				fatal(err)
+			}
+			copy(src, sweeps[f.String()])
+			best := math.Inf(1)
+			for r := 0; r < rounds; r++ {
+				t0 := time.Now()
+				ev.EvalBatch(dst, src)
+				if ns := time.Since(t0).Seconds() * 1e9 / float64(n); ns < best {
+					best = ns
+				}
+				sink += dst[0]
+			}
+			row.FuncNsPerElem[f.String()] = best
+			row.FuncVsScalarX[f.String()] = scalarNs[f.String()] / best
+			sumNs += best
+			sumScalar += scalarNs[f.String()]
+		}
+		row.NsPerElem = sumNs / float64(len(rlibm.Funcs))
+		row.VsScalarX = sumScalar / sumNs
+		out = append(out, row)
+	}
+	if sink == 42 { // defeat dead-code elimination
+		fmt.Fprint(os.Stderr, "")
+	}
+	return out
 }
 
 // precBenchReport is one row of the mixed-precision section: the per-element

@@ -59,9 +59,18 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 0, "fraction of eval requests emitting per-phase trace spans (needs -trace; 0 disables, 1 traces all)")
 		canarySample = flag.Float64("canary-sample", 0, "fraction of served elements re-verified against the oracle in the background (0 disables the canary)")
 		canaryQueue  = flag.Int("canary-queue", 1024, "pending canary verifications before new samples are dropped")
+		backendName  = flag.String("backend", "auto", "batch-kernel backend: auto, go, vector, or asm (auto picks the fastest available; all are bit-identical)")
 		opts         = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
+
+	backend, err := rlibm.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if !backend.Available() {
+		fatal(fmt.Errorf("rlibm-serve: backend %q is not available on this machine", backend))
+	}
 
 	run, err := opts.Start()
 	if err != nil {
@@ -96,6 +105,7 @@ func main() {
 		CanaryQueue:        *canaryQueue,
 		CanaryStore:        run.Store,
 		EnablePprof:        *pprofFlag,
+		Backend:            backend,
 	})
 	// Stop the canary (draining its queued verifications) before run.Close
 	// tears down the oracle store it verifies against — defers run LIFO.

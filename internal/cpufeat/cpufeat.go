@@ -1,0 +1,31 @@
+// Package cpufeat detects the CPU features the generated kernels' optional
+// assembly paths need, with no dependency outside the standard library. The
+// repo is dependency-free by policy, so this is a minimal hand-rolled CPUID
+// probe rather than a vendored feature library: it answers exactly the
+// questions the backend selection in pkg/rlibm asks (can this process run
+// AVX vector loads/stores and fused multiply-adds?) and nothing else.
+//
+// Detection runs once at init. On amd64 it executes CPUID and, when the OS
+// advertises XSAVE support, XGETBV — AVX is only usable when the *operating
+// system* saves the YMM halves across context switches, so a CPU bit alone
+// is not enough. On every other architecture all features report false and
+// the portable Go backends are the only ones offered.
+package cpufeat
+
+// Features is the feature set the backend selection consults.
+type Features struct {
+	// HasAVX: the CPU supports AVX and the OS preserves YMM state
+	// (OSXSAVE set and XCR0 enables XMM+YMM). Gates the assembly
+	// widen/narrow conversion loops.
+	HasAVX bool
+	// HasAVX2 additionally covers the 256-bit integer extensions.
+	HasAVX2 bool
+	// HasFMA: fused multiply-add (FMA3). math.FMA compiles to the fused
+	// instruction when this holds; the Go compiler emits its own runtime
+	// check, so this flag is informational for reporting, not a gate.
+	HasFMA bool
+}
+
+// X86 holds the detected features of the running CPU. On non-amd64
+// architectures it is the zero value.
+var X86 Features

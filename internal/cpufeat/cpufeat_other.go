@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package cpufeat
+
+// Non-amd64 builds offer no assembly backend: X86 stays the zero value and
+// backend selection falls through to the portable Go paths.

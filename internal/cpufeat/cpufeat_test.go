@@ -1,0 +1,19 @@
+package cpufeat
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestFeatureConsistency: the flags must be internally consistent — AVX2
+// implies AVX (the init code guarantees the implication, this pins it), and
+// non-amd64 architectures must report nothing.
+func TestFeatureConsistency(t *testing.T) {
+	t.Logf("GOARCH=%s features=%+v", runtime.GOARCH, X86)
+	if X86.HasAVX2 && !X86.HasAVX {
+		t.Error("HasAVX2 without HasAVX")
+	}
+	if runtime.GOARCH != "amd64" && (X86.HasAVX || X86.HasAVX2 || X86.HasFMA) {
+		t.Errorf("non-amd64 build reports x86 features: %+v", X86)
+	}
+}

@@ -1,0 +1,35 @@
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	// XCR0 bits 1 (XMM) and 2 (YMM) must both be set: the OS restores the
+	// full 256-bit register file across context switches. Without OSXSAVE,
+	// XGETBV would fault, so it is only executed behind the CPUID bit.
+	osYMM := false
+	if c&cpuidOSXSAVE != 0 {
+		xcr0, _ := xgetbv()
+		osYMM = xcr0&0x6 == 0x6
+	}
+	X86.HasAVX = c&cpuidAVX != 0 && osYMM
+	X86.HasFMA = c&cpuidFMA != 0 && osYMM
+	if maxID >= 7 {
+		_, b, _, _ := cpuid(7, 0)
+		const cpuid7AVX2 = 1 << 5
+		X86.HasAVX2 = X86.HasAVX && b&cpuid7AVX2 != 0
+	}
+}

@@ -1,0 +1,66 @@
+package libm
+
+import "rlibm/internal/cpufeat"
+
+// The assembly conversion path: the generated AsmBatch kernels stage float32
+// requests through the same vector block kernels as the VecBatch kernels,
+// but run the widen (float32 -> float64) and narrow (float64 -> float32)
+// staging loops as 4-wide AVX conversion instructions. VCVTPS2PD is exact
+// and VCVTPD2PS rounds to nearest even under the default MXCSR — the same
+// semantics as Go's scalar conversions, including NaN quieting — so the
+// assembly staging is bit-identical to the pure-Go loops by construction
+// (and a test sweeps both paths to pin it).
+//
+// asmConv is resolved once at init from the CPUID probe; the pure-Go loops
+// remain the fallback on AVX-less hardware, so the generated AsmBatch
+// kernels are safe to call anywhere and merely lose their edge.
+var asmConv = cpufeat.X86.HasAVX
+
+// AsmConvAvailable reports whether the assembly conversion staging path is
+// active in this process (amd64 with OS-supported AVX). pkg/rlibm's backend
+// selection uses this to decide whether BackendAsm is offered.
+func AsmConvAvailable() bool { return asmConv }
+
+// widenAVX converts n (a multiple of 4, > 0) float32s at src to float64s at
+// dst with VCVTPS2PD.
+//
+//go:noescape
+func widenAVX(dst *float64, src *float32, n int)
+
+// narrowAVX converts n (a multiple of 4, > 0) float64s at src to float32s
+// at dst with VCVTPD2PS (round to nearest even via the default MXCSR).
+//
+//go:noescape
+func narrowAVX(dst *float32, src *float64, n int)
+
+// widenF32 converts src into dst[:len(src)] (dst must be at least as long),
+// through the AVX loop when available.
+func widenF32(dst []float64, src []float32) {
+	_ = dst[:len(src)]
+	i := 0
+	if asmConv {
+		if n := len(src) &^ 3; n > 0 {
+			widenAVX(&dst[0], &src[0], n)
+			i = n
+		}
+	}
+	for ; i < len(src); i++ {
+		dst[i] = float64(src[i])
+	}
+}
+
+// narrowF32 converts src into dst[:len(src)] (dst must be at least as
+// long), through the AVX loop when available.
+func narrowF32(dst []float32, src []float64) {
+	_ = dst[:len(src)]
+	i := 0
+	if asmConv {
+		if n := len(src) &^ 3; n > 0 {
+			narrowAVX(&dst[0], &src[0], n)
+			i = n
+		}
+	}
+	for ; i < len(src); i++ {
+		dst[i] = float32(src[i])
+	}
+}

@@ -1,0 +1,42 @@
+#include "textflag.h"
+
+// Conversion staging loops for the generated AsmBatch kernels: 4-wide AVX
+// float32<->float64 conversions. Both are exactly the semantics of Go's
+// scalar conversions (VCVTPS2PD is exact; VCVTPD2PS rounds to nearest even
+// under the default MXCSR Go never alters), so results are bit-identical to
+// the pure-Go staging loops. Callers guarantee n > 0 and n % 4 == 0; tails
+// run in Go.
+
+// func widenAVX(dst *float64, src *float32, n int)
+TEXT ·widenAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+
+widenloop:
+	VCVTPS2PD (SI), Y0
+	VMOVUPD   Y0, (DI)
+	ADDQ      $16, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       widenloop
+	VZEROUPPER
+	RET
+
+// func narrowAVX(dst *float32, src *float64, n int)
+TEXT ·narrowAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+
+narrowloop:
+	VCVTPD2PSY (SI), X0
+	VMOVUPS    X0, (DI)
+	ADDQ       $32, SI
+	ADDQ       $16, DI
+	DECQ       CX
+	JNZ        narrowloop
+	VZEROUPPER
+	RET

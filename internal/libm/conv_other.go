@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package libm
+
+// Portable conversion staging: on non-amd64 architectures the generated
+// AsmBatch kernels degrade to exactly the VecBatch behaviour.
+
+// AsmConvAvailable reports whether the assembly conversion staging path is
+// active in this process; never on non-amd64 builds.
+func AsmConvAvailable() bool { return false }
+
+// widenF32 converts src into dst[:len(src)] (dst must be at least as long).
+func widenF32(dst []float64, src []float32) {
+	_ = dst[:len(src)]
+	for i, x := range src {
+		dst[i] = float64(x)
+	}
+}
+
+// narrowF32 converts src into dst[:len(src)] (dst must be at least as long).
+func narrowF32(dst []float32, src []float64) {
+	_ = dst[:len(src)]
+	for i, x := range src {
+		dst[i] = float32(x)
+	}
+}

@@ -1,0 +1,66 @@
+package libm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestConvStagingMatchesScalar: the widen/narrow staging loops (AVX on
+// capable amd64, pure Go elsewhere) must be bit-identical to Go's scalar
+// conversions for every value class — normals, subnormals, zeros of both
+// signs, infinities, NaNs with payloads, and narrow-rounding ties — at
+// lengths that cover the 4-wide body and every tail residue.
+func TestConvStagingMatchesScalar(t *testing.T) {
+	t.Logf("asm conversion staging active: %v", AsmConvAvailable())
+	rng := rand.New(rand.NewSource(99))
+
+	srcBits := []uint32{
+		0, 0x80000000, // +-0
+		0x7f800000, 0xff800000, // +-Inf
+		0x7fc00001, 0xffc0dead, // quiet NaNs with payloads
+		0x7f800001, 0xff800001, // signaling NaN patterns
+		1, 0x007fffff, // subnormals
+		0x00800000, 0x7f7fffff, // smallest/largest normal
+	}
+	for len(srcBits) < 4096 {
+		srcBits = append(srcBits, rng.Uint32())
+	}
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 64, 4093, 4096} {
+		src32 := make([]float32, n)
+		for i := range src32 {
+			src32[i] = math.Float32frombits(srcBits[i%len(srcBits)])
+		}
+		got64 := make([]float64, n)
+		widenF32(got64, src32)
+		src64 := make([]float64, n)
+		for i, x := range src32 {
+			src64[i] = float64(x)
+			if math.Float64bits(got64[i]) != math.Float64bits(src64[i]) {
+				t.Fatalf("widen n=%d [%d]: %#016x != %#016x (x=%#08x)",
+					n, i, math.Float64bits(got64[i]), math.Float64bits(src64[i]), math.Float32bits(src32[i]))
+			}
+		}
+		// Narrow over doubles that exercise rounding: the widened set plus
+		// perturbed doubles landing between float32 values (including exact
+		// ties, where round-to-nearest-even matters) and double NaNs.
+		for i := range src64 {
+			switch i % 4 {
+			case 1:
+				src64[i] *= 1 + 0x1p-25 // off-grid, forces rounding
+			case 2:
+				src64[i] = math.Float64frombits(math.Float64bits(src64[i]) | 0x10000000) // exact tie bit for many inputs
+			case 3:
+				src64[i] = math.Float64frombits(rng.Uint64()) // arbitrary doubles incl. NaN space
+			}
+		}
+		got32 := make([]float32, n)
+		narrowF32(got32, src64)
+		for i, d := range src64 {
+			if want := float32(d); math.Float32bits(got32[i]) != math.Float32bits(want) {
+				t.Fatalf("narrow n=%d [%d]: %#08x != %#08x (d=%#016x)",
+					n, i, math.Float32bits(got32[i]), math.Float32bits(want), math.Float64bits(d))
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package poly
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -63,7 +64,52 @@ func GenOps(cb *CodeBuf) Ops[string] {
 // result value. The emitted operations replicate Evaluator.Eval exactly.
 func (e *Evaluator) GenEval(x, tmpPrefix string) (lines []string, result string) {
 	cb := NewCodeBuf(tmpPrefix)
+	result = e.genWith(GenOps(cb), x)
+	return eliminateDead(cb.Lines(), result), result
+}
+
+// EvalCoeffs returns the coefficient array the bound scheme actually reads
+// during evaluation: the Knuth-adapted alphas when adaptation is in effect,
+// the original ascending coefficients otherwise. Index i in this slice is
+// the i the coeff callback of GenEvalCoeffs receives.
+func (e *Evaluator) EvalCoeffs() []float64 {
+	if a := e.AdaptedCoeffs(); a != nil {
+		return a
+	}
+	return e.Coeffs
+}
+
+// GenEvalCoeffs emits the same straight-line operation sequence as GenEval,
+// but loads every coefficient through coeff(i) — an expression such as
+// "c[3]" — instead of inlining its hexadecimal literal; i indexes
+// EvalCoeffs. The vector block emitter uses this to share one polynomial
+// body across the table-selected pieces of a piecewise kernel: the DAG shape
+// depends only on the scheme and the coefficient count, so pieces of equal
+// degree compile to identical code over different table rows. Coefficients
+// with equal bit patterns resolve to the lowest index (harmless: the rows
+// hold the same value there), and a constant the DAG introduces that is not
+// a coefficient falls back to its literal.
+func (e *Evaluator) GenEvalCoeffs(x, tmpPrefix string, coeff func(i int) string) (lines []string, result string) {
+	ec := e.EvalCoeffs()
+	byBits := make(map[uint64]int, len(ec))
+	for i := len(ec) - 1; i >= 0; i-- {
+		byBits[math.Float64bits(ec[i])] = i
+	}
+	cb := NewCodeBuf(tmpPrefix)
 	ops := GenOps(cb)
+	ops.FromFloat = func(f float64) string {
+		if i, ok := byBits[math.Float64bits(f)]; ok {
+			return coeff(i)
+		}
+		return GoLiteral(f)
+	}
+	result = e.genWith(ops, x)
+	return eliminateDead(cb.Lines(), result), result
+}
+
+// genWith runs the scheme's generic DAG interpreter under the given
+// string-typed Ops — the shared body of GenEval and GenEvalCoeffs.
+func (e *Evaluator) genWith(ops Ops[string], x string) (result string) {
 	switch e.Scheme {
 	case Horner:
 		result = HornerG(ops, e.Coeffs, x, false)
@@ -87,7 +133,7 @@ func (e *Evaluator) GenEval(x, tmpPrefix string) (lines []string, result string)
 	default:
 		panic("poly: unknown scheme")
 	}
-	return eliminateDead(cb.Lines(), result), result
+	return result
 }
 
 // eliminateDead removes statements whose temporary is never used by a later

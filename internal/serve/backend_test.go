@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rlibm/pkg/rlibm"
+)
+
+// TestConfigBackendRoundTrip: every backend the machine offers serves
+// bit-identical responses (the backend is a throughput choice, never a
+// results choice), and the resolved backend is surfaced on /statusz and as
+// the serve.backend gauge on /metricz.
+func TestConfigBackendRoundTrip(t *testing.T) {
+	backends, err := rlibm.Backends(rlibm.FuncExp, rlibm.EstrinFMA, rlibm.PrecFloat32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float32, 300)
+	for i := range src {
+		src[i] = float32(i)/4 - 37
+	}
+	src[7] = float32(math.NaN())
+	src[13] = float32(math.Inf(1))
+
+	var want []float32
+	for _, b := range append([]rlibm.Backend{rlibm.BackendAuto}, backends...) {
+		srv, ts, reg := newObsTestServer(t, Config{Backend: b})
+		got, resp := binEval(t, ts.URL, "exp", "rlibm-estrin-fma", src)
+		if got == nil {
+			t.Fatalf("backend %v: eval failed: %d", b, resp.StatusCode)
+		}
+		if want == nil {
+			want = got
+		}
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("backend %v: elem %d = %#08x, first backend got %#08x",
+					b, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+
+		resolved := srv.backend
+		if resolved == rlibm.BackendAuto {
+			t.Fatalf("backend %v: server kept unresolved BackendAuto", b)
+		}
+		if b != rlibm.BackendAuto && resolved != b {
+			t.Fatalf("configured %v, resolved %v", b, resolved)
+		}
+		if g := reg.Gauge("serve.backend").Value(); g != int64(resolved) {
+			t.Errorf("serve.backend gauge = %d, want %d", g, int64(resolved))
+		}
+
+		hr, err := http.Get(ts.URL + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body bytes.Buffer
+		body.ReadFrom(hr.Body)
+		hr.Body.Close()
+		wantLine := "backend: " + resolved.String()
+		if !strings.Contains(body.String(), wantLine) {
+			t.Errorf("statusz missing %q:\n%s", wantLine, body.String())
+		}
+	}
+}

@@ -207,6 +207,8 @@ func TestStatuszPage(t *testing.T) {
 	for _, want := range []string{
 		"rlibm-serve status",
 		"build:",
+		"backend:",
+		"configured auto",
 		"uptime:",
 		"eval requests served:  1",
 		"canary: OK",
@@ -376,7 +378,12 @@ func TestStreamTraceEchoOutOfOrder(t *testing.T) {
 					t.Errorf("%v/%v traced eval: %v", f, sch, err)
 					return
 				}
-				k := rlibm.Kernel(f, sch)
+				ev, err := rlibm.New(f, sch)
+				if err != nil {
+					t.Errorf("%v/%v: %v", f, sch, err)
+					return
+				}
+				k := ev.Kernel()
 				for i, x := range src {
 					want := float32(k(float64(x)))
 					if math.Float32bits(dst[i]) != math.Float32bits(want) &&

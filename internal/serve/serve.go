@@ -57,6 +57,16 @@ type Config struct {
 	// JSON, binary and stream requests beyond it are rejected with 413 (or
 	// the stream's too-large status). The limit is enforced in elements.
 	MaxBatch int
+	// Backend selects the rlibm batch-kernel backend every evaluator in the
+	// process uses. The zero value, rlibm.BackendAuto, resolves to the
+	// fastest backend available on the machine. Backend is process-level by
+	// design: all backends are bit-identical, so there is nothing to select
+	// per request, and the coalescer lanes stay keyed (func, scheme,
+	// precision). The resolved backend appears on /statusz and as the
+	// serve.backend gauge on /metricz. New panics if the configured backend
+	// is not available on this machine (rlibm.Backend.Available reports
+	// that; cmd/rlibm-serve checks it at flag parse).
+	Backend rlibm.Backend
 
 	// CoalesceMaxRequest: requests with at most this many elements enqueue
 	// into the per-(func,scheme) coalescer; larger ones evaluate directly
@@ -191,6 +201,10 @@ type Server struct {
 	coalescers [rlibm.NumFuncs][rlibm.NumSchemes][rlibm.NumPrecisions]*coalescer
 	directSem  chan struct{}
 
+	// backend is the resolved batch-kernel backend every evaluator runs —
+	// cfg.Backend with BackendAuto resolved against the machine.
+	backend rlibm.Backend
+
 	// Request-level observability (see obsreq.go): per-combo phase-latency
 	// instruments, the trace-sampling stride, and a total request counter.
 	phases       [rlibm.NumFuncs][rlibm.NumSchemes]*phaseSet
@@ -237,15 +251,23 @@ func New(cfg Config) *Server {
 			// more histograms per combo.
 			s.phases[f][sch] = newPhaseSet(f, sch, cfg.Registry)
 			for _, p := range rlibm.Precisions {
-				ev, err := rlibm.New(f, sch, rlibm.WithPrecision(p))
+				ev, err := rlibm.New(f, sch, rlibm.WithPrecision(p), rlibm.WithBackend(cfg.Backend))
 				if err != nil {
-					panic("serve: " + err.Error()) // combo sets track by design
+					// Reachable only through a Backend the machine cannot
+					// build; cmd/rlibm-serve validates at flag parse.
+					panic("serve: " + err.Error())
 				}
 				s.evals[f][sch][p] = ev
 				s.coalescers[f][sch][p] = newCoalescer(ev, s.cfg, cfg.Registry)
 			}
 		}
 	}
+	// All evaluators resolved the same process-level backend; record it and
+	// export it as a gauge so /metricz scrapes can tell fleets apart by
+	// batch-kernel backend (value = rlibm.Backend enum: 1 go, 2 vector,
+	// 3 asm — never 0/auto, the gauge holds the resolution).
+	s.backend = s.evals[rlibm.FuncExp][rlibm.Horner][rlibm.PrecFloat32].Backend()
+	cfg.Registry.Gauge("serve.backend").Set(int64(s.backend))
 	if cfg.CanarySample > 0 {
 		s.canary = newCanary(s.cfg, cfg.Registry)
 	}

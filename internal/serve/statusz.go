@@ -20,6 +20,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	b := obs.Build()
 	fmt.Fprintf(w, "rlibm-serve status\n")
 	fmt.Fprintf(w, "build:   %s (%s)\n", b.Git, b.GoVersion)
+	fmt.Fprintf(w, "backend: %s (batch kernels; configured %s)\n", s.backend, s.cfg.Backend)
 	fmt.Fprintf(w, "uptime:  %v\n\n", time.Since(s.started).Round(time.Second))
 
 	requests := s.evalRequests.Value()

@@ -79,7 +79,12 @@ func TestStreamRoundTrip(t *testing.T) {
 					t.Errorf("%v/%v: %v", f, sch, err)
 					return
 				}
-				k := rlibm.Kernel(f, sch)
+				ev, err := rlibm.New(f, sch)
+				if err != nil {
+					t.Errorf("%v/%v: %v", f, sch, err)
+					return
+				}
+				k := ev.Kernel()
 				for i, x := range src {
 					want := float32(k(float64(x)))
 					if math.Float32bits(dst[i]) != math.Float32bits(want) &&

@@ -1,0 +1,136 @@
+package rlibm
+
+import (
+	"fmt"
+	"strings"
+
+	"rlibm/internal/libm"
+)
+
+// Backend selects which generated batch-kernel shape an Evaluator dispatches
+// to. All backends are bit-identical for every input — the generated vector
+// kernels fall back to the scalar body per lane for special-case inputs, and
+// the assembly conversion staging performs the exact widenings and
+// round-to-nearest-even narrowings Go itself specifies — so the choice is
+// purely a performance decision and BackendAuto is almost always right.
+type Backend int
+
+const (
+	// BackendAuto picks the fastest backend available on this machine at
+	// Evaluator construction: BackendAsm where the assembly conversion
+	// staging exists (amd64 with AVX), BackendVector otherwise. It is the
+	// zero value, so zero-configured callers get it by default.
+	BackendAuto Backend = iota
+	// BackendGo is the scalar blocked kernel: the polynomial body inlined
+	// into a per-element loop. It is the portable baseline every other
+	// backend is tested bit-identical against.
+	BackendGo
+	// BackendVector is the pure-Go vectorizable kernel: branch-free
+	// lane-group loops (struct-of-arrays range reduction, mask-selected
+	// special cases, FMA polynomial bodies) that the compiler can keep in
+	// registers and pipeline. Portable to every GOARCH.
+	BackendVector
+	// BackendAsm is BackendVector behind assembly-staged float32↔float64
+	// conversions (4-wide AVX VCVTPS2PD/VCVTPD2PSY). Only available where
+	// the staging is built and the CPU supports it; requesting it elsewhere
+	// is an error New reports.
+	BackendAsm
+
+	// NumBackends is the number of Backend values, BackendAuto included.
+	NumBackends = 4
+)
+
+var backendNames = [NumBackends]string{"auto", "go", "vector", "asm"}
+
+// String returns the backend's canonical name ("auto", "go", "vector",
+// "asm").
+func (b Backend) String() string {
+	if b.valid() {
+		return backendNames[b]
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+func (b Backend) valid() bool { return b >= BackendAuto && b < NumBackends }
+
+// Available reports whether this backend can be constructed on this machine.
+// BackendAuto, BackendGo and BackendVector always can; BackendAsm needs the
+// assembly conversion staging (amd64 with AVX).
+func (b Backend) Available() bool {
+	switch b {
+	case BackendAuto, BackendGo, BackendVector:
+		return true
+	case BackendAsm:
+		return libm.AsmConvAvailable()
+	}
+	return false
+}
+
+// ParseBackend resolves a backend name, case-insensitively. It accepts the
+// canonical names ("auto", "go", "vector", "asm") and common aliases
+// ("scalar", "pure-go" → go; "vec", "simd" → vector; "avx", "assembly" →
+// asm). Parsing does not check availability — New does, so a parsed
+// BackendAsm on a machine without the staging fails at construction with the
+// machine's valid set.
+func ParseBackend(name string) (Backend, error) {
+	switch strings.ToLower(name) {
+	case "auto":
+		return BackendAuto, nil
+	case "go", "scalar", "pure-go":
+		return BackendGo, nil
+	case "vector", "vec", "simd":
+		return BackendVector, nil
+	case "asm", "avx", "assembly":
+		return BackendAsm, nil
+	}
+	return 0, errUnknownBackend(name, nil)
+}
+
+// availableBackendNames lists the names of the concrete backends that can be
+// constructed on this machine — the valid set New reports when an
+// unavailable backend is requested.
+func availableBackendNames() []string {
+	names := make([]string, 0, NumBackends)
+	for b := Backend(0); b < NumBackends; b++ {
+		if b.Available() {
+			names = append(names, b.String())
+		}
+	}
+	return names
+}
+
+// resolveBackend maps BackendAuto to the fastest backend available on this
+// machine; concrete backends resolve to themselves. The result is what
+// Evaluator.Backend reports and what indexes the batch-kernel table.
+func resolveBackend(b Backend) Backend {
+	if b != BackendAuto {
+		return b
+	}
+	if libm.AsmConvAvailable() {
+		return BackendAsm
+	}
+	return BackendVector
+}
+
+// Backends returns the concrete backends available for (f, s, p) on this
+// machine, in preference order (fastest first): the set WithBackend accepts
+// here beyond BackendAuto. Every combination supports BackendGo and
+// BackendVector; BackendAsm appears where the assembly conversion staging is
+// built. An invalid f, s or p is reported as an *OptionError, like New.
+func Backends(f Func, s Scheme, p Precision) ([]Backend, error) {
+	if !f.valid() {
+		return nil, errUnknownFunc(f)
+	}
+	if !s.valid() {
+		return nil, errUnknownScheme(s)
+	}
+	if !p.valid() {
+		return nil, errUnknownPrecision(p)
+	}
+	bs := make([]Backend, 0, NumBackends-1)
+	if BackendAsm.Available() {
+		bs = append(bs, BackendAsm)
+	}
+	bs = append(bs, BackendVector, BackendGo)
+	return bs, nil
+}

@@ -1,0 +1,201 @@
+package rlibm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseBackend: canonical names, aliases, case-insensitivity, and the
+// enumerating *OptionError.
+func TestParseBackend(t *testing.T) {
+	cases := map[string]Backend{
+		"auto": BackendAuto, "AUTO": BackendAuto,
+		"go": BackendGo, "scalar": BackendGo, "Pure-Go": BackendGo,
+		"vector": BackendVector, "vec": BackendVector, "SIMD": BackendVector,
+		"asm": BackendAsm, "avx": BackendAsm, "Assembly": BackendAsm,
+	}
+	for name, want := range cases {
+		if got, err := ParseBackend(name); err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := ParseBackend("cuda")
+	var oe *OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("ParseBackend(cuda) error = %T, want *OptionError", err)
+	}
+	if oe.Field != "backend" || oe.Value != "cuda" {
+		t.Errorf("OptionError = %+v", oe)
+	}
+	if want := `rlibm: unknown backend "cuda" (valid: auto, go, vector, asm)`; err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+	for _, b := range []Backend{BackendAuto, BackendGo, BackendVector, BackendAsm} {
+		if got, err := ParseBackend(b.String()); err != nil || got != b {
+			t.Errorf("ParseBackend(%v.String()) = %v, %v", b, got, err)
+		}
+	}
+}
+
+// TestOptionErrorUnifiesValidation: every validation failure of New and the
+// parsers is one typed *OptionError naming the field and enumerating the
+// valid values, in the shape ParsePrecision established.
+func TestOptionErrorUnifiesValidation(t *testing.T) {
+	checks := []struct {
+		err   error
+		field string
+		any   string // a value the enumeration must mention
+	}{
+		{func() error { _, err := New(Func(99), EstrinFMA); return err }(), "function", "exp2"},
+		{func() error { _, err := New(FuncExp, Scheme(-1)); return err }(), "scheme", "rlibm-estrin-fma"},
+		{func() error { _, err := New(FuncExp, Horner, WithPrecision(Precision(7))); return err }(), "precision", "bf16"},
+		{func() error { _, err := New(FuncExp, Horner, WithBackend(Backend(9))); return err }(), "backend", "vector"},
+		{func() error { _, err := ParseFunc("sin"); return err }(), "function", "log10"},
+		{func() error { _, err := ParseScheme("newton"); return err }(), "scheme", "rlibm-knuth"},
+		{func() error { _, err := ParsePrecision("int8"); return err }(), "precision", "tf32"},
+		{func() error { _, err := ParseBackend("cuda"); return err }(), "backend", "asm"},
+	}
+	for _, c := range checks {
+		var oe *OptionError
+		if !errors.As(c.err, &oe) {
+			t.Errorf("%v: not an *OptionError (%T)", c.err, c.err)
+			continue
+		}
+		if oe.Field != c.field {
+			t.Errorf("%v: Field = %q, want %q", c.err, oe.Field, c.field)
+		}
+		if !strings.Contains(strings.Join(oe.Valid, ", "), c.any) {
+			t.Errorf("%v: Valid %v does not mention %q", c.err, oe.Valid, c.any)
+		}
+		msg := c.err.Error()
+		if !strings.HasPrefix(msg, "rlibm: unknown "+c.field+" ") || !strings.Contains(msg, "(valid: ") {
+			t.Errorf("error %q does not follow the unified shape", msg)
+		}
+	}
+}
+
+// TestBackendsEnumeration: Backends lists the machine's constructible
+// concrete backends for every valid combination — BackendVector and
+// BackendGo always, BackendAsm exactly where it is available — and rejects
+// invalid components like New does.
+func TestBackendsEnumeration(t *testing.T) {
+	for _, f := range Funcs {
+		for _, s := range Schemes {
+			for _, p := range Precisions {
+				bs, err := Backends(f, s, p)
+				if err != nil {
+					t.Fatalf("Backends(%v, %v, %v): %v", f, s, p, err)
+				}
+				seen := map[Backend]bool{}
+				for _, b := range bs {
+					if b == BackendAuto || !b.Available() {
+						t.Errorf("Backends(%v, %v, %v) lists %v", f, s, p, b)
+					}
+					seen[b] = true
+				}
+				if !seen[BackendGo] || !seen[BackendVector] {
+					t.Errorf("Backends(%v, %v, %v) = %v, missing portable backends", f, s, p, bs)
+				}
+				if seen[BackendAsm] != BackendAsm.Available() {
+					t.Errorf("Backends(%v, %v, %v) asm listing %v, available %v",
+						f, s, p, seen[BackendAsm], BackendAsm.Available())
+				}
+			}
+		}
+	}
+	if _, err := Backends(Func(-1), Horner, PrecFloat32); err == nil {
+		t.Error("Backends with invalid func did not error")
+	}
+	if _, err := Backends(FuncExp, Scheme(9), PrecFloat32); err == nil {
+		t.Error("Backends with invalid scheme did not error")
+	}
+	if _, err := Backends(FuncExp, Horner, Precision(9)); err == nil {
+		t.Error("Backends with invalid precision did not error")
+	}
+}
+
+// TestWithBackendRoundTrip: New accepts every backend Backends lists,
+// Evaluator.Backend reports the concrete backend (Auto resolves to a member
+// of the list), and every backend's EvalBatch is bit-identical to
+// BackendGo's for every (function, scheme sample, precision).
+func TestWithBackendRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := 4096 + 5 // exercise lane groups and the scalar tail
+	src := make([]float32, n)
+	for i := range src {
+		if i%16 == 3 {
+			src[i] = math.Float32frombits(rng.Uint32()) // specials included
+		} else {
+			src[i] = float32(rng.Float64()*200 - 100)
+		}
+	}
+	want := make([]float32, n)
+	got := make([]float32, n)
+	for _, f := range Funcs {
+		for _, p := range Precisions {
+			bs, err := Backends(f, EstrinFMA, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			auto, err := New(f, EstrinFMA, WithPrecision(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resolved := auto.Backend()
+			if resolved == BackendAuto {
+				t.Fatalf("%v/%v: Backend() returned unresolved BackendAuto", f, p)
+			}
+			inList := false
+			for _, b := range bs {
+				inList = inList || b == resolved
+			}
+			if !inList {
+				t.Fatalf("%v/%v: auto resolved to %v, not in Backends() = %v", f, p, resolved, bs)
+			}
+			ref, err := New(f, EstrinFMA, WithPrecision(p), WithBackend(BackendGo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.EvalBatch(want, src)
+			for _, b := range bs {
+				e, err := New(f, EstrinFMA, WithPrecision(p), WithBackend(b))
+				if err != nil {
+					t.Fatalf("New(%v, WithBackend(%v)): %v", f, b, err)
+				}
+				if e.Backend() != b {
+					t.Fatalf("Backend() = %v, want %v", e.Backend(), b)
+				}
+				e.EvalBatch(got, src)
+				for i := range src {
+					if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("%v/%v/%v(%#08x): %#08x, go backend %#08x", f, p, b,
+							math.Float32bits(src[i]), math.Float32bits(got[i]), math.Float32bits(want[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWithBackendUnavailable: requesting a backend the machine cannot build
+// fails with an *OptionError enumerating the machine's available set. Where
+// asm is available the case is exercised with an out-of-range backend (the
+// availability path itself is covered on non-AVX builders).
+func TestWithBackendUnavailable(t *testing.T) {
+	if !BackendAsm.Available() {
+		_, err := New(FuncExp, EstrinFMA, WithBackend(BackendAsm))
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("New(WithBackend(asm)) on non-asm machine: error %T, want *OptionError", err)
+		}
+		if oe.Field != "backend" || strings.Contains(strings.Join(oe.Valid, ","), "asm") {
+			t.Errorf("OptionError = %+v, want backend error excluding asm", oe)
+		}
+	}
+	if _, err := New(FuncExp, EstrinFMA, WithBackend(Backend(-2))); err == nil {
+		t.Error("New with out-of-range backend did not error")
+	}
+}

@@ -62,10 +62,16 @@ func batchWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// defaultBackend is what BackendAuto resolves to on this machine, computed
+// once: the backend the package-level batch entry points dispatch to.
+var defaultBackend = resolveBackend(BackendAuto)
+
 // EvalBatch evaluates function f under scheme s at every element of src,
 // writing result i to dst[i]. It panics if f or s is out of range or if dst
 // is shorter than src (extra dst capacity is left untouched). Results are
-// bit-identical to calling Eval(f, s, x) per element.
+// bit-identical to calling Eval(f, s, x) per element; the batch runs on the
+// machine's BackendAuto resolution (build an Evaluator with WithBackend to
+// pin a backend).
 func EvalBatch(f Func, s Scheme, dst, src []float32) {
 	if !f.valid() {
 		panic("rlibm: invalid Func")
@@ -76,7 +82,7 @@ func EvalBatch(f Func, s Scheme, dst, src []float32) {
 	if len(dst) < len(src) {
 		panic("rlibm: EvalBatch dst shorter than src")
 	}
-	evalBatch(batchKernels[f][s][PrecFloat32], dst[:len(src)], src)
+	evalBatch(batchKernels[defaultBackend][f][s][PrecFloat32], dst[:len(src)], src)
 }
 
 // evalBatch runs batch kernel k over src into dst (equal lengths), fanning

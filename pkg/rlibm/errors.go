@@ -1,0 +1,48 @@
+package rlibm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OptionError is the validation error for every configurable dimension of
+// this package — function, scheme, precision and backend. New returns one
+// when a combination is invalid, and the Parse* helpers return one for
+// unknown names, so callers can match on the type (errors.As) and present
+// the offending field with its valid values uniformly.
+//
+// The rendered message is "rlibm: unknown <field> <value> (valid: ...)" for
+// every field — the shape ParsePrecision has always used, now shared by all
+// validation paths.
+type OptionError struct {
+	Field string   // "function", "scheme", "precision" or "backend"
+	Value string   // the rejected value, as printed
+	Valid []string // the accepted canonical names, in order
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("rlibm: unknown %s %q (valid: %s)", e.Field, e.Value, strings.Join(e.Valid, ", "))
+}
+
+func errUnknownFunc(v any) error {
+	return &OptionError{Field: "function", Value: fmt.Sprint(v), Valid: funcNames[:]}
+}
+
+func errUnknownScheme(v any) error {
+	names := make([]string, NumSchemes)
+	for i, s := range Schemes {
+		names[i] = s.String()
+	}
+	return &OptionError{Field: "scheme", Value: fmt.Sprint(v), Valid: names}
+}
+
+func errUnknownPrecision(v any) error {
+	return &OptionError{Field: "precision", Value: fmt.Sprint(v), Valid: precNames[:]}
+}
+
+func errUnknownBackend(v any, valid []string) error {
+	if valid == nil {
+		valid = backendNames[:]
+	}
+	return &OptionError{Field: "backend", Value: fmt.Sprint(v), Valid: valid}
+}

@@ -1,16 +1,18 @@
 package rlibm
 
-// Evaluator binds one (function, scheme, precision) combination to its
-// generated kernels. Constructing one validates the combination and resolves
-// the kernel dispatch once; Eval and EvalBatch then run with no per-call
-// validation or map lookups, which is the form the serving layer and any
-// long-lived client should hold.
+// Evaluator binds one (function, scheme, precision, backend) combination to
+// its generated kernels. Constructing one validates the combination,
+// resolves BackendAuto against the machine, and resolves the kernel dispatch
+// once; Eval and EvalBatch then run with no per-call validation or map
+// lookups, which is the form the serving layer and any long-lived client
+// should hold.
 //
 // The zero Evaluator is not usable; build one with New.
 type Evaluator struct {
 	f Func
 	s Scheme
 	p Precision
+	b Backend // resolved: never BackendAuto after New
 
 	kernel func(float64) float64
 	batch  func(dst, src []float32)
@@ -28,12 +30,23 @@ func WithPrecision(p Precision) Option {
 	return func(e *Evaluator) { e.p = p }
 }
 
+// WithBackend selects the batch-kernel backend. The default, BackendAuto,
+// resolves to the fastest backend available on this machine; a concrete
+// backend pins the choice, and New fails with an *OptionError naming the
+// machine's available set if it cannot be constructed here (BackendAsm
+// without the assembly conversion staging). Backend choice never changes
+// results — every backend is bit-identical — only batch throughput;
+// Evaluator.Eval is the same scalar kernel under every backend.
+func WithBackend(b Backend) Option {
+	return func(e *Evaluator) { e.b = b }
+}
+
 // New returns an Evaluator for function f under scheme s. Invalid
-// combinations are reported as errors enumerating the valid set, making New
-// the natural sink for external input validated by ParseFunc, ParseScheme
-// and ParsePrecision.
+// combinations are reported as *OptionError values enumerating the valid
+// set, making New the natural sink for external input validated by
+// ParseFunc, ParseScheme, ParsePrecision and ParseBackend.
 func New(f Func, s Scheme, opts ...Option) (*Evaluator, error) {
-	e := &Evaluator{f: f, s: s, p: PrecFloat32}
+	e := &Evaluator{f: f, s: s, p: PrecFloat32, b: BackendAuto}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -46,8 +59,15 @@ func New(f Func, s Scheme, opts ...Option) (*Evaluator, error) {
 	if !e.p.valid() {
 		return nil, errUnknownPrecision(e.p)
 	}
+	if !e.b.valid() {
+		return nil, errUnknownBackend(e.b, nil)
+	}
+	if !e.b.Available() {
+		return nil, errUnknownBackend(e.b, availableBackendNames())
+	}
+	e.b = resolveBackend(e.b)
 	e.kernel = kernels[f][s][e.p]
-	e.batch = batchKernels[f][s][e.p]
+	e.batch = batchKernels[e.b][f][s][e.p]
 	return e, nil
 }
 
@@ -59,6 +79,11 @@ func (e *Evaluator) Scheme() Scheme { return e.s }
 
 // Prec returns the evaluator's output precision.
 func (e *Evaluator) Prec() Precision { return e.p }
+
+// Backend returns the evaluator's resolved backend — the one EvalBatch
+// actually dispatches to, never BackendAuto. An evaluator built with
+// BackendAuto reports what Auto resolved to on this machine.
+func (e *Evaluator) Backend() Backend { return e.b }
 
 // Eval returns the correctly rounded result at the evaluator's precision.
 // For narrow precisions the returned float32 is exactly a value of the

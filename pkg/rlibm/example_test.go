@@ -39,6 +39,24 @@ func ExampleEvalBatch() {
 	// [0 1 3 10]
 }
 
+// WithBackend pins the batch-kernel backend. The default, BackendAuto,
+// resolves to the fastest backend available on the machine; pinning
+// BackendVector (always available) makes this example deterministic.
+// Backend choice never changes results — every backend is bit-identical —
+// only batch throughput.
+func ExampleWithBackend() {
+	e, err := rlibm.New(rlibm.FuncExp2, rlibm.EstrinFMA, rlibm.WithBackend(rlibm.BackendVector))
+	if err != nil {
+		panic(err)
+	}
+	src := []float32{0, 1, 2, 10}
+	dst := make([]float32, len(src))
+	e.EvalBatch(dst, src)
+	fmt.Println(e.Backend(), dst)
+	// Output:
+	// vector [1 2 4 1024]
+}
+
 // Every generated variant of a function agrees on the correctly rounded
 // result; the schemes differ only in evaluation speed.
 func ExampleEval() {

@@ -73,5 +73,5 @@ func ParsePrecision(name string) (Precision, error) {
 	if p, ok := precAliases[strings.ToLower(name)]; ok {
 		return p, nil
 	}
-	return 0, fmt.Errorf("rlibm: unknown precision %q (valid: %s)", name, strings.Join(precNames[:], ", "))
+	return 0, errUnknownPrecision(name)
 }

@@ -79,14 +79,6 @@ func ParseScheme(name string) (Scheme, error) {
 	return 0, errUnknownScheme(name)
 }
 
-func errUnknownScheme(v any) error {
-	names := make([]string, NumSchemes)
-	for i, s := range Schemes {
-		names[i] = s.String()
-	}
-	return fmt.Errorf("rlibm: unknown scheme %q (valid: %s)", fmt.Sprint(v), strings.Join(names, ", "))
-}
-
 // Func identifies one of the six elementary functions.
 type Func int
 
@@ -129,14 +121,6 @@ func ParseFunc(name string) (Func, error) {
 	return 0, errUnknownFunc(name)
 }
 
-func errUnknownFunc(v any) error {
-	return fmt.Errorf("rlibm: unknown function %q (valid: %s)", fmt.Sprint(v), strings.Join(funcNames[:], ", "))
-}
-
-func errUnknownPrecision(v any) error {
-	return fmt.Errorf("rlibm: unknown precision %q (valid: %s)", fmt.Sprint(v), strings.Join(precNames[:], ", "))
-}
-
 // kernels indexes the straight-line generated backend by (function, scheme,
 // precision). Resolving a kernel once and looping over it is the batch fast
 // path; the scalar entry points go through the same kernels so batch and
@@ -145,29 +129,63 @@ func errUnknownPrecision(v any) error {
 // kernels.
 var kernels [NumFuncs][NumSchemes][NumPrecisions]func(float64) float64
 
-// batchKernels indexes the generated batch backend the same way: blocked
-// in-place kernels with the polynomial body inlined into the loop, the form
-// EvalBatch dispatches to.
-var batchKernels [NumFuncs][NumSchemes][NumPrecisions]func(dst, src []float32)
+// batchKernels adds the backend dimension: blocked in-place kernels with the
+// polynomial body inlined into the loop, the form EvalBatch dispatches to.
+// The leading index is a concrete backend (BackendGo, BackendVector,
+// BackendAsm) — BackendAuto resolves to one of those before indexing, so its
+// slot stays nil. Every backend of a cell computes bit-identical results;
+// they differ only in how the loop is shaped (scalar block, lane-group
+// vector block, or vector block behind assembly-staged float conversions).
+//
+// The scalar kernels have no backend dimension: a single straight-line
+// float64 call has only one generated form.
+var batchKernels [NumBackends][NumFuncs][NumSchemes][NumPrecisions]func(dst, src []float32)
 
 func init() {
+	batchRegs := [NumBackends]struct{ full, prefix map[string]func(dst, src []float32) }{
+		BackendGo:     {libm.GeneratedBatchFuncs, libm.GeneratedPrefixBatchFuncs},
+		BackendVector: {libm.GeneratedVecBatchFuncs, libm.GeneratedPrefixVecBatchFuncs},
+		BackendAsm:    {libm.GeneratedAsmBatchFuncs, libm.GeneratedPrefixAsmBatchFuncs},
+	}
 	for fi, f := range Funcs {
 		for si, s := range Schemes {
 			key := f.String() + "/" + s.String()
 			for pi, p := range Precisions {
-				k, bk := libm.GeneratedFuncs[key], libm.GeneratedBatchFuncs[key]
+				k := libm.GeneratedFuncs[key]
+				lookup := key
 				if p != PrecFloat32 {
-					pkey := key + "/" + p.String()
-					k, bk = libm.GeneratedPrefixFuncs[pkey], libm.GeneratedPrefixBatchFuncs[pkey]
+					lookup = key + "/" + p.String()
+					k = libm.GeneratedPrefixFuncs[lookup]
 				}
-				if k == nil || bk == nil {
-					panic("rlibm: missing generated kernel " + key + "/" + p.String())
-				}
-				if p == PrecBfloat16 {
-					bk = bf16Batch(f.String(), k)
+				if k == nil {
+					panic("rlibm: missing generated kernel " + lookup)
 				}
 				kernels[fi][si][pi] = k
-				batchKernels[fi][si][pi] = bk
+				// The bfloat16 memo table answers any bf16-pattern input with
+				// one load, which beats every polynomial backend; share it
+				// across all of them so backend choice never changes bf16
+				// speed or results.
+				var memo func(dst, src []float32)
+				if p == PrecBfloat16 {
+					memo = bf16Batch(f.String(), k)
+				}
+				for bi, reg := range batchRegs {
+					if Backend(bi) == BackendAuto {
+						continue
+					}
+					m := reg.full
+					if p != PrecFloat32 {
+						m = reg.prefix
+					}
+					bk := m[lookup]
+					if bk == nil {
+						panic("rlibm: missing " + Backend(bi).String() + " batch kernel " + lookup)
+					}
+					if memo != nil {
+						bk = memo
+					}
+					batchKernels[bi][fi][si][pi] = bk
+				}
 			}
 		}
 	}
@@ -206,7 +224,10 @@ func bf16Batch(fname string, kern func(float64) float64) func(dst, src []float32
 // float32(Kernel(f, s)(float64(x))) == Eval(f, s, x) bit for bit.
 //
 // Deprecated: use New and Evaluator.Kernel, which validate the combination,
-// cover the narrow precisions, and return errors instead of nil.
+// cover the narrow precisions, and return errors instead of nil. All
+// internal callers have migrated; the wrapper is kept for external users and
+// stays pinned equivalent to Evaluator.Kernel by
+// TestEvaluatorFullPrecisionMatchesPackage.
 func Kernel(f Func, s Scheme) func(float64) float64 {
 	if !f.valid() || !s.valid() {
 		return nil
